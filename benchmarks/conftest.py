@@ -1,0 +1,65 @@
+"""Shared fixtures and configuration for the figure-regeneration benchmarks.
+
+Every benchmark file regenerates one table or figure of the paper's
+evaluation section.  The experiment drivers in
+:mod:`repro.bench.experiments` do the actual sweeps; the benchmark tests wrap
+them so that
+
+* ``pytest benchmarks/ --benchmark-only`` reruns every experiment,
+* the measured rows are printed as text tables (the repository's analogue of
+  the paper's plots), and
+* the qualitative *shape* reported by the paper (which method wins, how a
+  curve moves with a parameter) is asserted, not the absolute numbers.
+
+The corpora are intentionally small (a few percent of the paper's dataset
+counts — see ``BENCH_CONFIG``) so the full suite completes in minutes on a
+laptop.  Scale up ``BENCH_SCALE`` to approach the paper's scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import ExperimentConfig, Workbench
+
+#: Scale of the synthetic corpora relative to the paper's dataset counts.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+#: Larger corpus used by the OJSP sweeps (Figs. 9-12), where index pruning
+#: only pays off once the corpus is big enough to dominate per-query overhead.
+OJSP_SCALE = float(os.environ.get("REPRO_BENCH_OJSP_SCALE", "0.1"))
+#: Sources used by the single-machine search benchmarks.
+BENCH_SOURCES = ("Transit", "Baidu")
+
+BENCH_CONFIG = ExperimentConfig(sources=BENCH_SOURCES, scale=BENCH_SCALE, theta=12, seed=7)
+OJSP_CONFIG = ExperimentConfig(sources=BENCH_SOURCES, scale=OJSP_SCALE, theta=12, seed=7)
+
+#: Reduced sweeps keeping total benchmark wall-clock reasonable; the drivers
+#: accept the paper's full ranges if more fidelity is wanted.
+K_VALUES = (2, 4, 6, 8, 10)
+Q_VALUES = (2, 4, 6, 8)
+THETA_VALUES = (10, 11, 12, 13)
+DELTA_VALUES = (0.0, 5.0, 10.0, 20.0)
+LEAF_CAPACITIES = (10, 20, 30, 50)
+UPDATE_BATCHES = (20, 40, 60)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The shared experiment configuration."""
+    return BENCH_CONFIG
+
+
+@pytest.fixture(scope="session")
+def workbench() -> Workbench:
+    """A session-wide workbench so corpora are generated once."""
+    return Workbench(BENCH_CONFIG)
+
+
+def timings_by_method(rows: list[dict], key: str = "method", value: str = "time_ms") -> dict[str, float]:
+    """Aggregate total time per method across an experiment's rows."""
+    totals: dict[str, float] = {}
+    for row in rows:
+        totals[row[key]] = totals.get(row[key], 0.0) + float(row[value])
+    return totals

@@ -1,0 +1,67 @@
+"""Ablation: the spatial-merge strategy of CoverageSearch.
+
+CoverageSearch merges the growing result set into a single node so each
+greedy round performs one connectivity search; SG+DITS performs one search
+per result-set member.  Both share the Lemma 4 bounds, so the difference
+between them isolates the merge strategy (the gap between SG+DITS and SG
+isolates the bounds themselves).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import BENCH_CONFIG
+
+from repro.bench.harness import Workbench, time_call
+from repro.bench.reporting import format_table
+from repro.core.problems import CoverageQuery
+from repro.search.coverage import CoverageSearch
+from repro.search.coverage_baselines import StandardGreedy, StandardGreedyWithDITS
+
+
+@pytest.fixture(scope="module")
+def setup():
+    bench = Workbench(BENCH_CONFIG)
+    nodes = bench.all_nodes()
+    dits = bench.build_dits(nodes)
+    return {
+        "merge (CoverageSearch)": CoverageSearch(dits),
+        "no merge (SG+DITS)": StandardGreedyWithDITS(dits),
+        "no bounds (SG)": StandardGreedy(nodes),
+    }, bench.query_nodes(3)
+
+
+def test_merge_strategy_reduces_search_time(benchmark, setup):
+    """The merge strategy is at least as fast as per-member connectivity search."""
+    methods, queries = setup
+    k, delta = 8, 10.0
+
+    def run():
+        rows = []
+        for label, method in methods.items():
+            elapsed_ms, _ = time_call(
+                lambda m=method: [m.search(CoverageQuery(query=q, k=k, delta=delta)) for q in queries]
+            )
+            rows.append({"variant": label, "time_ms": elapsed_ms})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Ablation: spatial merge and distance bounds (CJSP, k=8)"))
+
+    by_variant = {row["variant"]: row["time_ms"] for row in rows}
+    assert by_variant["merge (CoverageSearch)"] <= by_variant["no merge (SG+DITS)"] * 1.2
+    assert by_variant["no merge (SG+DITS)"] <= by_variant["no bounds (SG)"] * 1.2
+
+
+def test_merge_strategy_preserves_coverage_quality(setup):
+    """Accelerations must not change the achieved coverage (greedy quality)."""
+    methods, queries = setup
+    for query in queries:
+        coverages = {
+            label: method.search(CoverageQuery(query=query, k=5, delta=10.0)).total_coverage
+            for label, method in methods.items()
+        }
+        best = max(coverages.values())
+        for label, coverage in coverages.items():
+            assert coverage >= 0.9 * best, (label, coverages)

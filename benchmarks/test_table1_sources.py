@@ -1,0 +1,43 @@
+"""Table I and Fig. 7: statistics and spatial skew of the five data sources."""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE
+
+from repro.bench.experiments import fig7_source_heatmaps, table1_source_statistics
+from repro.bench.reporting import format_table
+
+
+def test_table1_source_statistics(benchmark):
+    """Regenerate Table I at synthetic scale and check per-source proportions."""
+    rows = benchmark.pedantic(
+        table1_source_statistics, kwargs={"scale": BENCH_SCALE}, rounds=1, iterations=1
+    )
+    print()
+    print(format_table(rows, title=f"Table I (synthetic, scale={BENCH_SCALE})"))
+
+    by_source = {row["source"]: row for row in rows}
+    assert set(by_source) == {"Baidu", "BTAA", "NYU", "Transit", "UMN"}
+    # The relative ordering of dataset counts must match the paper's Table I:
+    # Baidu > UMN > BTAA > Transit > NYU.
+    counts = [by_source[name]["datasets"] for name in ("Baidu", "UMN", "BTAA", "Transit", "NYU")]
+    assert counts == sorted(counts, reverse=True)
+    for row in rows:
+        assert row["points"] > 0
+
+
+def test_fig7_source_density_skew(benchmark):
+    """Regenerate the Fig. 7 density summaries and check the skew pattern."""
+    heatmaps = benchmark.pedantic(
+        fig7_source_heatmaps, kwargs={"scale": BENCH_SCALE, "theta": 6}, rounds=1, iterations=1
+    )
+    print()
+    for source, rows in heatmaps.items():
+        top = rows[0]["datasets"] if rows else 0
+        print(f"  {source:<8} densest coarse cell holds {top} datasets "
+              f"({len(rows)} populated cells listed)")
+    # Transit (a compact regional portal) concentrates its datasets in far
+    # fewer coarse cells than the worldwide portals do.
+    transit_cells = len(heatmaps["Transit"])
+    btaa_cells = len(heatmaps["BTAA"])
+    assert transit_cells <= btaa_cells or heatmaps["Transit"][0]["datasets"] >= heatmaps["BTAA"][0]["datasets"]

@@ -1,0 +1,11 @@
+"""Setuptools shim so editable installs work without the ``wheel`` package.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+only because the offline evaluation environment lacks ``wheel`` and therefore
+cannot perform PEP 660 editable installs.  ``pip install -e . --no-build-isolation``
+falls back to the legacy ``setup.py develop`` path through this shim.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""Benchmark harness: workload construction, experiment drivers and reporting.
+
+* :mod:`repro.bench.harness` — builds the synthetic corpora/indexes once per
+  configuration and provides timing utilities.
+* :mod:`repro.bench.experiments` — one driver per paper figure/table; each
+  returns plain row dictionaries.
+* :mod:`repro.bench.reporting` — renders rows as aligned text tables and CSV.
+"""
+
+from repro.bench.harness import ExperimentConfig, Workbench, time_call
+from repro.bench.plots import ascii_line_chart, series_from_rows
+from repro.bench.reporting import format_table, rows_to_csv
+
+__all__ = [
+    "ExperimentConfig",
+    "Workbench",
+    "ascii_line_chart",
+    "format_table",
+    "rows_to_csv",
+    "series_from_rows",
+    "time_call",
+]

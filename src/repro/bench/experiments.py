@@ -1,0 +1,505 @@
+"""Experiment drivers: one function per paper table/figure.
+
+Every driver returns a list of plain dictionaries (one row per measurement)
+so the benchmark tests can both assert on the measured *shape* (who wins,
+how the curve moves) and print the rows the way the paper reports them.
+The drivers deliberately accept the sweep values as arguments with defaults
+matching Table II of the paper, scaled to the synthetic corpora.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.harness import ExperimentConfig, Workbench, time_call
+from repro.core.grid import Grid
+from repro.core.problems import CoverageQuery, OverlapQuery
+from repro.data.sources import SOURCE_PROFILES, build_source_datasets
+from repro.distributed.center import DistributionPolicy
+from repro.distributed.framework import MultiSourceFramework
+from repro.index import DATASET_INDEX_CLASSES
+from repro.index.dits import DITSLocalIndex
+from repro.index.rtree import RTreeIndex
+from repro.index.stats import index_memory_bytes
+from repro.search.coverage import CoverageSearch
+from repro.search.coverage_baselines import StandardGreedy, StandardGreedyWithDITS
+from repro.search.overlap import OverlapSearch
+from repro.search.overlap_baselines import (
+    JosieOverlap,
+    QuadTreeOverlap,
+    RTreeOverlap,
+    STS3Overlap,
+)
+
+__all__ = [
+    "table1_source_statistics",
+    "fig7_source_heatmaps",
+    "fig8_index_construction",
+    "fig9_overlap_vs_k",
+    "fig10_overlap_vs_theta",
+    "fig11_overlap_vs_q",
+    "fig12_overlap_vs_leaf_capacity",
+    "fig13_14_overlap_communication",
+    "fig15_coverage_vs_k",
+    "fig16_coverage_vs_theta",
+    "fig17_coverage_vs_q",
+    "fig18_coverage_vs_delta",
+    "fig19_20_coverage_communication",
+    "fig21_22_index_updates",
+    "OVERLAP_METHODS",
+    "COVERAGE_METHODS",
+]
+
+#: Parameter defaults mirroring Table II, shrunk where the synthetic corpora
+#: are smaller than the real portals.
+DEFAULT_K_VALUES = (2, 4, 6, 8, 10)
+DEFAULT_Q_VALUES = (2, 4, 6, 8, 10)
+DEFAULT_THETA_VALUES = (10, 11, 12, 13, 14)
+DEFAULT_DELTA_VALUES = (0.0, 5.0, 10.0, 15.0, 20.0)
+DEFAULT_LEAF_CAPACITIES = (10, 20, 30, 40, 50)
+DEFAULT_UPDATE_BATCHES = (20, 40, 60, 80, 100)
+
+OVERLAP_METHODS = ("OverlapSearch", "Rtree", "Josie", "QuadTree", "STS3")
+COVERAGE_METHODS = ("CoverageSearch", "SG+DITS", "SG")
+
+
+# ---------------------------------------------------------------------- #
+# Table I / Fig. 7 — data source statistics
+# ---------------------------------------------------------------------- #
+def table1_source_statistics(scale: float = 0.02, seed: int = 7) -> list[dict]:
+    """Per-source statistics mirroring Table I (at synthetic scale)."""
+    rows = []
+    for name, profile in SOURCE_PROFILES.items():
+        datasets = build_source_datasets(profile, scale=scale, seed=seed)
+        point_count = sum(len(dataset) for dataset in datasets)
+        rows.append(
+            {
+                "source": name,
+                "datasets": len(datasets),
+                "points": point_count,
+                "lon_range": f"[{profile.region.min_x:.2f}, {profile.region.max_x:.2f}]",
+                "lat_range": f"[{profile.region.min_y:.2f}, {profile.region.max_y:.2f}]",
+                "paper_datasets": profile.dataset_count,
+            }
+        )
+    return rows
+
+
+def fig7_source_heatmaps(
+    scale: float = 0.02, seed: int = 7, theta: int = 6
+) -> dict[str, list[dict]]:
+    """Coarse occupancy histograms per source (the Fig. 7 heat-map analogue).
+
+    Returns, for every source, rows of ``(cell, count)`` at a coarse
+    resolution — enough to verify that the spatial skew of each profile is
+    present (Transit dense and compact, BTAA sparse and wide).
+    """
+    grid = Grid(theta=theta)
+    heatmaps: dict[str, list[dict]] = {}
+    for name, profile in SOURCE_PROFILES.items():
+        datasets = build_source_datasets(profile, scale=scale, seed=seed)
+        counts: dict[int, int] = {}
+        for dataset in datasets:
+            for cell in grid.cell_ids_of(dataset.points):
+                counts[cell] = counts.get(cell, 0) + 1
+        heatmaps[name] = [
+            {"cell": cell, "datasets": count}
+            for cell, count in sorted(counts.items(), key=lambda kv: -kv[1])[:20]
+        ]
+    return heatmaps
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 8 — index construction time and memory vs theta
+# ---------------------------------------------------------------------- #
+def fig8_index_construction(
+    thetas: Sequence[int] = DEFAULT_THETA_VALUES,
+    config: ExperimentConfig | None = None,
+) -> list[dict]:
+    """Construction time (ms) and memory (bytes) of the five indexes per theta."""
+    base = config or ExperimentConfig()
+    rows = []
+    for theta in thetas:
+        bench = Workbench(base.with_theta(theta))
+        nodes = bench.all_nodes()
+        for index_name, index_cls in DATASET_INDEX_CLASSES.items():
+            index = index_cls()
+            elapsed_ms, _ = time_call(lambda idx=index: idx.build(nodes))
+            rows.append(
+                {
+                    "theta": theta,
+                    "index": index_name,
+                    "build_ms": elapsed_ms,
+                    "memory_bytes": index_memory_bytes(index),
+                    "datasets": len(nodes),
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# OJSP search-time sweeps (Figs. 9-12)
+# ---------------------------------------------------------------------- #
+def _overlap_methods(bench: Workbench, leaf_capacity: int | None = None):
+    """Build all five OJSP methods over the workbench's nodes."""
+    nodes = bench.all_nodes()
+    dits = DITSLocalIndex(leaf_capacity=leaf_capacity or bench.config.leaf_capacity)
+    dits.build(nodes)
+    rtree = bench.build_rtree(nodes)
+    quad = bench.build_quadtree(nodes)
+    sts3 = bench.build_sts3(nodes)
+    josie = bench.build_josie(nodes)
+    return {
+        "OverlapSearch": OverlapSearch(dits),
+        "Rtree": RTreeOverlap(rtree),
+        "Josie": JosieOverlap(josie),
+        "QuadTree": QuadTreeOverlap(quad),
+        "STS3": STS3Overlap(sts3),
+    }
+
+
+def _run_overlap_workload(
+    methods, queries, k: int, repeats: int = 3
+) -> dict[str, float]:
+    """Best-of-``repeats`` time (ms) per method to answer every query in ``queries``.
+
+    The OJSP workloads are sub-millisecond per query at laptop scale, so each
+    measurement is repeated and the minimum kept to suppress cold-cache and
+    scheduler noise.
+    """
+    timings: dict[str, float] = {}
+    for name, method in methods.items():
+        def run(m=method):
+            for query in queries:
+                m.search(OverlapQuery(query=query, k=k))
+        elapsed_ms, _ = time_call(run, repeats=repeats)
+        timings[name] = elapsed_ms
+    return timings
+
+
+def fig9_overlap_vs_k(
+    k_values: Sequence[int] = DEFAULT_K_VALUES,
+    query_count: int = 5,
+    config: ExperimentConfig | None = None,
+) -> list[dict]:
+    """OJSP search time of the five methods as ``k`` grows (Fig. 9)."""
+    bench = Workbench(config or ExperimentConfig())
+    methods = _overlap_methods(bench)
+    queries = bench.query_nodes(query_count)
+    rows = []
+    for k in k_values:
+        timings = _run_overlap_workload(methods, queries, k)
+        for name, elapsed in timings.items():
+            rows.append({"k": k, "method": name, "time_ms": elapsed, "queries": query_count})
+    return rows
+
+
+def fig10_overlap_vs_theta(
+    thetas: Sequence[int] = DEFAULT_THETA_VALUES,
+    k: int = 5,
+    query_count: int = 5,
+    config: ExperimentConfig | None = None,
+) -> list[dict]:
+    """OJSP search time as the grid resolution grows (Fig. 10)."""
+    base = config or ExperimentConfig()
+    rows = []
+    for theta in thetas:
+        bench = Workbench(base.with_theta(theta))
+        methods = _overlap_methods(bench)
+        queries = bench.query_nodes(query_count)
+        timings = _run_overlap_workload(methods, queries, k)
+        for name, elapsed in timings.items():
+            rows.append({"theta": theta, "method": name, "time_ms": elapsed})
+    return rows
+
+
+def fig11_overlap_vs_q(
+    q_values: Sequence[int] = DEFAULT_Q_VALUES,
+    k: int = 5,
+    config: ExperimentConfig | None = None,
+) -> list[dict]:
+    """OJSP search time as the number of queries grows (Fig. 11)."""
+    bench = Workbench(config or ExperimentConfig())
+    methods = _overlap_methods(bench)
+    all_queries = bench.query_nodes(max(q_values))
+    rows = []
+    for q in q_values:
+        timings = _run_overlap_workload(methods, all_queries[:q], k)
+        for name, elapsed in timings.items():
+            rows.append({"q": q, "method": name, "time_ms": elapsed})
+    return rows
+
+
+def fig12_overlap_vs_leaf_capacity(
+    capacities: Sequence[int] = DEFAULT_LEAF_CAPACITIES,
+    k: int = 5,
+    query_count: int = 5,
+    config: ExperimentConfig | None = None,
+) -> list[dict]:
+    """OJSP search time of OverlapSearch vs. the R-tree as ``f`` grows (Fig. 12)."""
+    bench = Workbench(config or ExperimentConfig())
+    nodes = bench.all_nodes()
+    queries = bench.query_nodes(query_count)
+    rtree = bench.build_rtree(nodes)
+    rtree_method = RTreeOverlap(rtree)
+    rows = []
+    for capacity in capacities:
+        dits = DITSLocalIndex(leaf_capacity=capacity)
+        dits.build(nodes)
+        methods = {"OverlapSearch": OverlapSearch(dits), "Rtree": rtree_method}
+        timings = _run_overlap_workload(methods, queries, k)
+        for name, elapsed in timings.items():
+            rows.append({"f": capacity, "method": name, "time_ms": elapsed})
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# Figs. 13-14 — OJSP communication cost and transmission time
+# ---------------------------------------------------------------------- #
+def _build_framework(config: ExperimentConfig, policy: DistributionPolicy) -> MultiSourceFramework:
+    framework = MultiSourceFramework(
+        theta=config.theta, leaf_capacity=config.leaf_capacity, policy=policy
+    )
+    for source_name in config.sources:
+        datasets = build_source_datasets(
+            SOURCE_PROFILES[source_name], scale=config.scale, seed=config.seed
+        )
+        framework.add_source(source_name, datasets)
+    return framework
+
+
+def fig13_14_overlap_communication(
+    q_values: Sequence[int] = DEFAULT_Q_VALUES,
+    k: int = 5,
+    config: ExperimentConfig | None = None,
+) -> list[dict]:
+    """Bytes transferred and transmission time for OJSP as ``q`` grows.
+
+    ``OverlapSearch`` uses both distribution strategies (candidate routing +
+    query clipping); the baselines broadcast the full query to every source,
+    which is how the paper's comparison methods behave.
+    """
+    cfg = config or ExperimentConfig()
+    optimised = _build_framework(cfg, DistributionPolicy(route_to_candidates=True, clip_query=True))
+    broadcast = _build_framework(cfg, DistributionPolicy(route_to_candidates=False, clip_query=False))
+    bench = Workbench(cfg)
+    all_queries = bench.query_nodes(max(q_values))
+
+    rows = []
+    for q in q_values:
+        queries = all_queries[:q]
+        for label, framework in (("OverlapSearch", optimised), ("Broadcast", broadcast)):
+            framework.reset_communication_stats()
+            for query in queries:
+                framework.overlap_search(query, k)
+            stats = framework.communication_stats()
+            rows.append(
+                {
+                    "q": q,
+                    "method": label,
+                    "bytes": stats.total_bytes,
+                    "messages": stats.messages_sent,
+                    "transmission_ms": framework.transmission_time_ms(),
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# CJSP search-time sweeps (Figs. 15-18)
+# ---------------------------------------------------------------------- #
+def _coverage_methods(bench: Workbench):
+    nodes = bench.all_nodes()
+    dits = bench.build_dits(nodes)
+    return {
+        "CoverageSearch": CoverageSearch(dits),
+        "SG+DITS": StandardGreedyWithDITS(dits),
+        "SG": StandardGreedy(nodes),
+    }
+
+
+def _run_coverage_workload(methods, queries, k: int, delta: float) -> dict[str, float]:
+    timings: dict[str, float] = {}
+    for name, method in methods.items():
+        def run(m=method):
+            for query in queries:
+                m.search(CoverageQuery(query=query, k=k, delta=delta))
+        elapsed_ms, _ = time_call(run)
+        timings[name] = elapsed_ms
+    return timings
+
+
+def fig15_coverage_vs_k(
+    k_values: Sequence[int] = DEFAULT_K_VALUES,
+    delta: float = 10.0,
+    query_count: int = 3,
+    config: ExperimentConfig | None = None,
+) -> list[dict]:
+    """CJSP search time of the three methods as ``k`` grows (Fig. 15)."""
+    bench = Workbench(config or ExperimentConfig())
+    methods = _coverage_methods(bench)
+    queries = bench.query_nodes(query_count)
+    rows = []
+    for k in k_values:
+        timings = _run_coverage_workload(methods, queries, k, delta)
+        for name, elapsed in timings.items():
+            rows.append({"k": k, "method": name, "time_ms": elapsed})
+    return rows
+
+
+def fig16_coverage_vs_theta(
+    thetas: Sequence[int] = DEFAULT_THETA_VALUES,
+    k: int = 5,
+    delta: float = 10.0,
+    query_count: int = 3,
+    config: ExperimentConfig | None = None,
+) -> list[dict]:
+    """CJSP search time as the grid resolution grows (Fig. 16)."""
+    base = config or ExperimentConfig()
+    rows = []
+    for theta in thetas:
+        bench = Workbench(base.with_theta(theta))
+        methods = _coverage_methods(bench)
+        queries = bench.query_nodes(query_count)
+        timings = _run_coverage_workload(methods, queries, k, delta)
+        for name, elapsed in timings.items():
+            rows.append({"theta": theta, "method": name, "time_ms": elapsed})
+    return rows
+
+
+def fig17_coverage_vs_q(
+    q_values: Sequence[int] = DEFAULT_Q_VALUES,
+    k: int = 5,
+    delta: float = 10.0,
+    config: ExperimentConfig | None = None,
+) -> list[dict]:
+    """CJSP search time as the number of queries grows (Fig. 17)."""
+    bench = Workbench(config or ExperimentConfig())
+    methods = _coverage_methods(bench)
+    all_queries = bench.query_nodes(max(q_values))
+    rows = []
+    for q in q_values:
+        timings = _run_coverage_workload(methods, all_queries[:q], k, delta)
+        for name, elapsed in timings.items():
+            rows.append({"q": q, "method": name, "time_ms": elapsed})
+    return rows
+
+
+def fig18_coverage_vs_delta(
+    delta_values: Sequence[float] = DEFAULT_DELTA_VALUES,
+    k: int = 5,
+    query_count: int = 3,
+    config: ExperimentConfig | None = None,
+) -> list[dict]:
+    """CJSP search time as the connectivity threshold grows (Fig. 18)."""
+    bench = Workbench(config or ExperimentConfig())
+    methods = _coverage_methods(bench)
+    queries = bench.query_nodes(query_count)
+    rows = []
+    for delta in delta_values:
+        timings = _run_coverage_workload(methods, queries, k, delta)
+        for name, elapsed in timings.items():
+            rows.append({"delta": delta, "method": name, "time_ms": elapsed})
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# Figs. 19-20 — CJSP communication cost and transmission time
+# ---------------------------------------------------------------------- #
+def fig19_20_coverage_communication(
+    q_values: Sequence[int] = DEFAULT_Q_VALUES,
+    k: int = 5,
+    delta: float = 10.0,
+    config: ExperimentConfig | None = None,
+) -> list[dict]:
+    """Bytes transferred and transmission time for CJSP as ``q`` grows."""
+    cfg = config or ExperimentConfig()
+    optimised = _build_framework(cfg, DistributionPolicy(route_to_candidates=True, clip_query=True))
+    broadcast = _build_framework(cfg, DistributionPolicy(route_to_candidates=False, clip_query=False))
+    bench = Workbench(cfg)
+    all_queries = bench.query_nodes(max(q_values))
+
+    rows = []
+    for q in q_values:
+        queries = all_queries[:q]
+        for label, framework in (("CoverageSearch", optimised), ("Broadcast", broadcast)):
+            framework.reset_communication_stats()
+            for query in queries:
+                framework.coverage_search(query, k, delta)
+            stats = framework.communication_stats()
+            rows.append(
+                {
+                    "q": q,
+                    "method": label,
+                    "bytes": stats.total_bytes,
+                    "messages": stats.messages_sent,
+                    "transmission_ms": framework.transmission_time_ms(),
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# Figs. 21-22 — index update time
+# ---------------------------------------------------------------------- #
+def fig21_22_index_updates(
+    batch_sizes: Sequence[int] = DEFAULT_UPDATE_BATCHES,
+    config: ExperimentConfig | None = None,
+) -> list[dict]:
+    """Batch insert and batch update time of the five indexes (Figs. 21-22)."""
+    bench = Workbench(config or ExperimentConfig())
+    base_nodes = bench.all_nodes()
+    grid = bench.grid
+    profile = SOURCE_PROFILES[bench.config.sources[0]]
+    extra_datasets = build_source_datasets(
+        profile, scale=bench.config.scale, seed=bench.config.seed + 99
+    )
+    extra_nodes = [
+        dataset.to_node(grid)
+        for dataset in extra_datasets
+    ]
+    # Re-identify the extra nodes so they never collide with indexed IDs.
+    from repro.core.dataset import DatasetNode
+
+    extra_nodes = [
+        DatasetNode(
+            dataset_id=f"new-{i}", rect=node.rect, cells=node.cells, point_count=node.point_count
+        )
+        for i, node in enumerate(extra_nodes)
+    ]
+
+    rows = []
+    for batch in batch_sizes:
+        inserts = extra_nodes[:batch]
+        for index_name, index_cls in DATASET_INDEX_CLASSES.items():
+            # Batch inserts (Fig. 21).
+            index = index_cls()
+            index.build(base_nodes)
+            insert_ms, _ = time_call(
+                lambda idx=index: [idx.insert(node) for node in inserts]
+            )
+            # Batch updates (Fig. 22): re-grid existing datasets with a shifted rect.
+            index = index_cls()
+            index.build(base_nodes)
+            to_update = base_nodes[: min(batch, len(base_nodes))]
+            replacements = [
+                DatasetNode(
+                    dataset_id=node.dataset_id,
+                    rect=node.rect,
+                    cells=node.cells,
+                    point_count=node.point_count,
+                )
+                for node in to_update
+            ]
+            update_ms, _ = time_call(
+                lambda idx=index, reps=replacements: [idx.update(node) for node in reps]
+            )
+            rows.append(
+                {
+                    "batch": batch,
+                    "index": index_name,
+                    "insert_ms": insert_ms,
+                    "update_ms": update_ms,
+                }
+            )
+    return rows

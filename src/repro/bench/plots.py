@@ -1,0 +1,109 @@
+"""Plain-text charts for experiment results.
+
+The paper presents its evaluation as line charts (time vs. ``k``, ``theta``,
+``q`` …).  This repository's benchmarks print tables, but a quick visual read
+of a trend is often easier; :func:`ascii_line_chart` renders one or more
+series as a fixed-size ASCII chart that can be embedded in terminal output,
+logs or EXPERIMENTS.md without any plotting dependency.
+
+The chart is deliberately simple: linear or logarithmic y-axis, one marker
+character per series, shared x-positions taken from the union of the series'
+x-values.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_line_chart", "series_from_rows"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def series_from_rows(
+    rows: Sequence[Mapping[str, object]],
+    x_key: str,
+    y_key: str,
+    label_key: str,
+) -> dict[str, list[tuple[float, float]]]:
+    """Group experiment rows into ``{label: [(x, y), ...]}`` series.
+
+    This is the bridge between the experiment drivers (which return flat row
+    dictionaries) and :func:`ascii_line_chart`.
+    """
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in rows:
+        label = str(row[label_key])
+        series.setdefault(label, []).append((float(row[x_key]), float(row[y_key])))
+    for points in series.values():
+        points.sort()
+    return series
+
+
+def ascii_line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    logy: bool = False,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render ``series`` as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping from series label to ``(x, y)`` points.
+    width, height:
+        Plot area size in characters (excluding axes and legend).
+    logy:
+        Use a logarithmic y-axis (all y values must then be positive), which
+        matches how the paper plots its timing figures.
+    """
+    if not series or all(not points for points in series.values()):
+        return "(no data)"
+    if width < 10 or height < 4:
+        raise ValueError("chart area too small")
+
+    all_points = [point for points in series.values() for point in points]
+    xs = [x for x, _ in all_points]
+    ys = [y for _, y in all_points]
+    if logy:
+        if min(ys) <= 0:
+            raise ValueError("logarithmic y-axis requires positive values")
+        transform = math.log10
+    else:
+        transform = float
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(transform(y) for y in ys), max(transform(y) for y in ys)
+    x_span = max(max_x - min_x, 1e-12)
+    y_span = max(max_y - min_y, 1e-12)
+
+    canvas = [[" "] * width for _ in range(height)]
+    legend: list[str] = []
+    for index, (label, points) in enumerate(sorted(series.items())):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} {label}")
+        for x, y in points:
+            column = round((x - min_x) / x_span * (width - 1))
+            row = round((transform(y) - min_y) / y_span * (height - 1))
+            canvas[height - 1 - row][column] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    y_top = f"{(10 ** max_y if logy else max_y):.3g}"
+    y_bottom = f"{(10 ** min_y if logy else min_y):.3g}"
+    label_width = max(len(y_top), len(y_bottom), len(y_label))
+    lines.append(f"{y_top.rjust(label_width)} ┤{''.join(canvas[0])}")
+    for row_chars in canvas[1:-1]:
+        lines.append(f"{' ' * label_width} │{''.join(row_chars)}")
+    lines.append(f"{y_bottom.rjust(label_width)} ┤{''.join(canvas[-1])}")
+    lines.append(f"{' ' * label_width} └{'─' * width}")
+    lines.append(
+        f"{' ' * label_width}  {str(min_x):<{width // 2}}{str(max_x):>{width - width // 2}}"
+    )
+    lines.append(f"{' ' * label_width}  {x_label}   |   " + "   ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Rendering experiment rows as text tables and CSV.
+
+The experiment drivers return plain lists of dictionaries; these helpers
+format them the way EXPERIMENTS.md and the benchmark console output present
+them, keeping the drivers free of any formatting concerns.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "rows_to_csv"]
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str | None = None) -> str:
+    """Render ``rows`` as an aligned, pipe-separated text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    widths = {
+        column: max(len(str(column)), *(len(_fmt(row.get(column))) for row in rows))
+        for column in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(_fmt(row.get(column)).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render ``rows`` as CSV text (header from the first row's keys)."""
+    if not rows:
+        return ""
+    import csv
+
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({key: _fmt(value) for key, value in row.items()})
+    return buffer.getvalue()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch a single base class.  Programming errors (wrong types) still raise the
+built-in exceptions; these classes are reserved for domain conditions a user
+of the library can reasonably trigger and handle.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidParameterError",
+    "EmptyDatasetError",
+    "DatasetNotFoundError",
+    "IndexNotBuiltError",
+    "SourceNotFoundError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A search or index parameter is outside its valid range."""
+
+
+class EmptyDatasetError(ReproError, ValueError):
+    """An operation that requires a non-empty dataset received an empty one."""
+
+
+class DatasetNotFoundError(ReproError, KeyError):
+    """A dataset identifier does not exist in the index or data source."""
+
+
+class IndexNotBuiltError(ReproError, RuntimeError):
+    """A query was issued against an index that has not been built yet."""
+
+
+class SourceNotFoundError(ReproError, KeyError):
+    """A data-source identifier does not exist at the data center."""

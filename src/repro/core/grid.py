@@ -1,0 +1,193 @@
+"""Grid partition of a 2-D space at resolution ``theta`` (Definition 4).
+
+The grid divides a rectangular *data space* into ``2**theta x 2**theta``
+equal-sized cells.  Each cell is identified by a single non-negative integer
+obtained from the z-order (Morton) interleaving of its column/row
+coordinates, which keeps nearby cells numerically close.
+
+A :class:`Grid` is the bridge between raw spatial points (longitude /
+latitude) and the *cell-based dataset* representation (Definition 5) that all
+search algorithms operate on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.errors import InvalidParameterError
+from repro.core.geometry import BoundingBox, Point
+from repro.utils.zorder import zorder_decode, zorder_encode
+
+__all__ = ["Grid", "WORLD_SPACE"]
+
+#: The whole-globe data space used by default (longitude x latitude degrees).
+WORLD_SPACE = BoundingBox(-180.0, -90.0, 180.0, 90.0)
+
+_MAX_THETA = 20
+
+
+@dataclass(frozen=True, slots=True)
+class Grid:
+    """A ``2**theta x 2**theta`` uniform grid over ``space``.
+
+    Parameters
+    ----------
+    theta:
+        Resolution exponent; the paper evaluates ``theta in {10, .., 14}``.
+    space:
+        The data space covered by the grid.  Points outside the space are
+        clamped onto the boundary cells so that slightly out-of-range
+        coordinates (a common artefact of real GPS data) never raise.
+    """
+
+    theta: int
+    space: BoundingBox = WORLD_SPACE
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.theta <= _MAX_THETA:
+            raise InvalidParameterError(
+                f"theta must be in [1, {_MAX_THETA}], got {self.theta}"
+            )
+        if self.space.width <= 0 or self.space.height <= 0:
+            raise InvalidParameterError("grid space must have positive extent")
+
+    # ------------------------------------------------------------------ #
+    # Basic quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def cells_per_side(self) -> int:
+        """Number of cells along each axis (``2**theta``)."""
+        return 1 << self.theta
+
+    @property
+    def total_cells(self) -> int:
+        """Total number of cells in the grid."""
+        return self.cells_per_side * self.cells_per_side
+
+    @property
+    def cell_width(self) -> float:
+        """Width ``nu`` of a single cell."""
+        return self.space.width / self.cells_per_side
+
+    @property
+    def cell_height(self) -> float:
+        """Height ``mu`` of a single cell."""
+        return self.space.height / self.cells_per_side
+
+    # ------------------------------------------------------------------ #
+    # Point <-> cell conversions
+    # ------------------------------------------------------------------ #
+    def cell_coords_of(self, point: Point | Sequence[float]) -> tuple[int, int]:
+        """Grid coordinates ``(X, Y)`` of the cell containing ``point``.
+
+        Points outside the data space are clamped to the border cells so
+        that the mapping is total.
+        """
+        x, y = (point.x, point.y) if isinstance(point, Point) else (point[0], point[1])
+        side = self.cells_per_side
+        col = int((x - self.space.min_x) / self.cell_width)
+        row = int((y - self.space.min_y) / self.cell_height)
+        col = min(max(col, 0), side - 1)
+        row = min(max(row, 0), side - 1)
+        return col, row
+
+    def cell_id_of(self, point: Point | Sequence[float]) -> int:
+        """Z-order cell ID of the cell containing ``point``."""
+        col, row = self.cell_coords_of(point)
+        return zorder_encode(col, row)
+
+    def cell_ids_of(self, points: Iterable[Point | Sequence[float]]) -> set[int]:
+        """Set of cell IDs covered by ``points`` (the cell-based dataset)."""
+        return {self.cell_id_of(point) for point in points}
+
+    def coords_of_cell(self, cell_id: int) -> tuple[int, int]:
+        """Grid coordinates ``(X, Y)`` of ``cell_id``."""
+        self._validate_cell(cell_id)
+        return zorder_decode(cell_id)
+
+    def cell_id_from_coords(self, col: int, row: int) -> int:
+        """Z-order cell ID of grid coordinates ``(col, row)``."""
+        side = self.cells_per_side
+        if not (0 <= col < side and 0 <= row < side):
+            raise InvalidParameterError(
+                f"cell coordinates ({col}, {row}) outside grid of side {side}"
+            )
+        return zorder_encode(col, row)
+
+    def cell_center(self, cell_id: int) -> Point:
+        """Geographic centre of ``cell_id``."""
+        col, row = self.coords_of_cell(cell_id)
+        return Point(
+            self.space.min_x + (col + 0.5) * self.cell_width,
+            self.space.min_y + (row + 0.5) * self.cell_height,
+        )
+
+    def cell_box(self, cell_id: int) -> BoundingBox:
+        """Geographic bounding box of ``cell_id``."""
+        col, row = self.coords_of_cell(cell_id)
+        min_x = self.space.min_x + col * self.cell_width
+        min_y = self.space.min_y + row * self.cell_height
+        return BoundingBox(min_x, min_y, min_x + self.cell_width, min_y + self.cell_height)
+
+    # ------------------------------------------------------------------ #
+    # Region queries
+    # ------------------------------------------------------------------ #
+    def cells_in_box(self, box: BoundingBox) -> list[int]:
+        """All cell IDs whose cells intersect ``box`` (clipped to the space)."""
+        clipped = box.intersection(self.space)
+        if clipped is None:
+            return []
+        min_col, min_row = self.cell_coords_of(Point(clipped.min_x, clipped.min_y))
+        max_col, max_row = self.cell_coords_of(Point(clipped.max_x, clipped.max_y))
+        return [
+            zorder_encode(col, row)
+            for row in range(min_row, max_row + 1)
+            for col in range(min_col, max_col + 1)
+        ]
+
+    def cell_grid_distance(self, cell_a: int, cell_b: int) -> float:
+        """Euclidean distance between two cells measured in grid units.
+
+        This is the distance used by Definition 6: cell IDs are decomposed
+        into their grid coordinates and compared with the L2 norm, so two
+        horizontally adjacent cells are at distance 1.
+        """
+        ax, ay = self.coords_of_cell(cell_a)
+        bx, by = self.coords_of_cell(cell_b)
+        return math.hypot(ax - bx, ay - by)
+
+    def neighbours_of(self, cell_id: int, radius: int = 1) -> list[int]:
+        """Cell IDs within Chebyshev distance ``radius`` of ``cell_id`` (excluding it)."""
+        if radius < 0:
+            raise InvalidParameterError(f"radius must be non-negative, got {radius}")
+        col, row = self.coords_of_cell(cell_id)
+        side = self.cells_per_side
+        neighbours = []
+        for d_row in range(-radius, radius + 1):
+            for d_col in range(-radius, radius + 1):
+                if d_row == 0 and d_col == 0:
+                    continue
+                n_col, n_row = col + d_col, row + d_row
+                if 0 <= n_col < side and 0 <= n_row < side:
+                    neighbours.append(zorder_encode(n_col, n_row))
+        return neighbours
+
+    # ------------------------------------------------------------------ #
+    # Conversions between grids of different resolution
+    # ------------------------------------------------------------------ #
+    def rescale_cell(self, cell_id: int, target: "Grid") -> int:
+        """Map ``cell_id`` of this grid to the cell of ``target`` containing its centre.
+
+        Used by the data center when sources build their local indexes at
+        different resolutions (Section V-B): MBRs and pivots are exchanged in
+        geographic coordinates and re-discretised on arrival.
+        """
+        return target.cell_id_of(self.cell_center(cell_id))
+
+    def _validate_cell(self, cell_id: int) -> None:
+        if not 0 <= cell_id < self.total_cells:
+            raise InvalidParameterError(
+                f"cell id {cell_id} outside grid with {self.total_cells} cells"
+            )

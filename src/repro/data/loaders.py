@@ -1,0 +1,75 @@
+"""Persistence helpers: CSV and JSON round-trips for spatial datasets.
+
+Real deployments of a dataset-search service ingest files from disk; these
+helpers provide a minimal but complete ingestion path so the examples can
+demonstrate loading a directory of CSV files into a data source, and so users
+can persist synthetic corpora for repeatable experiments.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.dataset import SpatialDataset
+from repro.core.errors import EmptyDatasetError
+
+__all__ = [
+    "save_datasets_json",
+    "load_datasets_json",
+    "save_source_csv",
+    "load_source_csv",
+]
+
+
+def save_datasets_json(datasets: Iterable[SpatialDataset], path: str | Path) -> None:
+    """Write datasets to one JSON file: ``{dataset_id: [[x, y], ...], ...}``."""
+    payload = {
+        dataset.dataset_id: [[point.x, point.y] for point in dataset.points]
+        for dataset in datasets
+    }
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_datasets_json(path: str | Path) -> list[SpatialDataset]:
+    """Read datasets previously written by :func:`save_datasets_json`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    datasets = []
+    for dataset_id, coordinates in payload.items():
+        if not coordinates:
+            raise EmptyDatasetError(f"dataset {dataset_id!r} in {path} has no points")
+        datasets.append(SpatialDataset.from_coordinates(dataset_id, coordinates))
+    return datasets
+
+
+def save_source_csv(datasets: Iterable[SpatialDataset], directory: str | Path) -> list[Path]:
+    """Write one ``<dataset_id>.csv`` file (columns ``x,y``) per dataset."""
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for dataset in datasets:
+        file_path = out_dir / f"{dataset.dataset_id}.csv"
+        with file_path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["x", "y"])
+            for point in dataset.points:
+                writer.writerow([point.x, point.y])
+        written.append(file_path)
+    return written
+
+
+def load_source_csv(directory: str | Path) -> list[SpatialDataset]:
+    """Read every ``*.csv`` file in ``directory`` as one dataset each."""
+    datasets = []
+    for file_path in sorted(Path(directory).glob("*.csv")):
+        coordinates = []
+        with file_path.open(newline="", encoding="utf-8") as handle:
+            reader = csv.DictReader(handle)
+            for row in reader:
+                coordinates.append((float(row["x"]), float(row["y"])))
+        if not coordinates:
+            raise EmptyDatasetError(f"CSV file {file_path} has no points")
+        datasets.append(SpatialDataset.from_coordinates(file_path.stem, coordinates))
+    return datasets

@@ -1,0 +1,57 @@
+"""Query workload sampling.
+
+Section VII-A builds query workloads by randomly selecting 50 datasets from
+the downloaded corpora and using them as query datasets.  The helpers here do
+the same over synthetic sources, plus a variant that perturbs the sampled
+datasets slightly so queries are near-duplicates rather than exact members of
+the corpus (useful for testing that overlap scores behave sensibly when the
+query itself is not indexed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import SpatialDataset
+
+__all__ = ["sample_queries", "perturbed_queries"]
+
+
+def sample_queries(
+    datasets: list[SpatialDataset], count: int, seed: int = 23
+) -> list[SpatialDataset]:
+    """Sample ``count`` query datasets uniformly without replacement.
+
+    If ``count`` exceeds the corpus size, the whole corpus (shuffled) is
+    returned.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    rng = np.random.default_rng(seed)
+    indices = rng.permutation(len(datasets))[: min(count, len(datasets))]
+    return [datasets[i] for i in indices]
+
+
+def perturbed_queries(
+    datasets: list[SpatialDataset],
+    count: int,
+    seed: int = 23,
+    jitter_fraction: float = 0.002,
+) -> list[SpatialDataset]:
+    """Sample queries and add small coordinate jitter to every point.
+
+    ``jitter_fraction`` scales the Gaussian noise by the dataset's own extent
+    so small, dense datasets are not smeared across the map.
+    """
+    rng = np.random.default_rng(seed)
+    base = sample_queries(datasets, count, seed=seed)
+    queries = []
+    for position, dataset in enumerate(base):
+        box = dataset.bounding_box
+        scale = max(box.width, box.height, 1e-9) * jitter_fraction
+        coords = np.array([[p.x, p.y] for p in dataset.points])
+        coords += rng.normal(0.0, scale, size=coords.shape)
+        queries.append(
+            SpatialDataset.from_coordinates(f"query-{position}-{dataset.dataset_id}", coords)
+        )
+    return queries

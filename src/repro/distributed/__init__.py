@@ -1,0 +1,39 @@
+"""Multi-source joinable search framework (Section IV and VI-A).
+
+The framework mirrors Fig. 3 of the paper:
+
+* every :class:`~repro.distributed.source.DataSource` owns its datasets and a
+  DITS-L local index;
+* the :class:`~repro.distributed.center.DataCenter` owns the DITS-G global
+  index built from the root summaries the sources upload;
+* all traffic between them flows through a
+  :class:`~repro.distributed.channel.SimulatedChannel` that counts messages
+  and bytes, from which communication cost and transmission time are derived;
+* :class:`~repro.distributed.framework.MultiSourceFramework` wires everything
+  together and exposes end-to-end ``overlap_search`` / ``coverage_search``.
+"""
+
+from repro.distributed.channel import ChannelStats, SimulatedChannel
+from repro.distributed.center import DataCenter
+from repro.distributed.framework import MultiSourceFramework
+from repro.distributed.messages import (
+    CoverageRequest,
+    CoverageResponse,
+    OverlapRequest,
+    OverlapResponse,
+    RootUpload,
+)
+from repro.distributed.source import DataSource
+
+__all__ = [
+    "ChannelStats",
+    "CoverageRequest",
+    "CoverageResponse",
+    "DataCenter",
+    "DataSource",
+    "MultiSourceFramework",
+    "OverlapRequest",
+    "OverlapResponse",
+    "RootUpload",
+    "SimulatedChannel",
+]

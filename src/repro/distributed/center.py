@@ -1,0 +1,269 @@
+"""The data center: global index, query distribution and result aggregation.
+
+The :class:`DataCenter` implements both query-distribution strategies of
+Section VI-A:
+
+1. **Candidate-source routing** — DITS-G is consulted first and a request is
+   only sent to sources whose region intersects the query MBR (OJSP) or whose
+   distance lower bound to the query is within the connectivity threshold
+   (CJSP).
+2. **Query clipping** — the request carries only the query cells falling
+   inside the candidate source's (slightly expanded) region instead of the
+   whole cell set, cutting the bytes per message.
+
+Both strategies can be disabled independently, which is what the
+communication-cost benchmarks use to emulate the broadcast-everything
+baselines.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.dataset import DatasetNode
+from repro.core.errors import SourceNotFoundError
+from repro.core.geometry import BoundingBox
+from repro.core.grid import Grid
+from repro.core.problems import CoverageResult, OverlapResult, ScoredDataset
+from repro.distributed.channel import SimulatedChannel
+from repro.distributed.messages import (
+    CoverageRequest,
+    CoverageResponse,
+    OverlapRequest,
+    OverlapResponse,
+    RootUpload,
+)
+from repro.distributed.source import DataSource
+from repro.index.dits_global import DITSGlobalIndex, SourceSummary
+from repro.utils.heaps import BoundedTopK
+
+__all__ = ["DataCenter", "DistributionPolicy"]
+
+
+@dataclass(frozen=True, slots=True)
+class DistributionPolicy:
+    """Which query-distribution optimisations the data center applies."""
+
+    route_to_candidates: bool = True
+    clip_query: bool = True
+
+
+class DataCenter:
+    """Coordinates multi-source joinable search over registered data sources."""
+
+    def __init__(
+        self,
+        grid: Grid,
+        channel: SimulatedChannel | None = None,
+        policy: DistributionPolicy = DistributionPolicy(),
+        global_leaf_capacity: int = 4,
+    ) -> None:
+        self.grid = grid
+        self.channel = channel if channel is not None else SimulatedChannel()
+        self.policy = policy
+        self._global_index = DITSGlobalIndex(leaf_capacity=global_leaf_capacity)
+        self._sources: dict[str, DataSource] = {}
+        self._query_counter = itertools.count()
+
+    # ------------------------------------------------------------------ #
+    # Source registration
+    # ------------------------------------------------------------------ #
+    def register_source(self, source: DataSource) -> None:
+        """Register ``source``: receive its root upload and add it to DITS-G."""
+        upload: RootUpload = source.root_upload()
+        self.channel.send(upload, destination=source.source_id, to_center=True)
+        summary = SourceSummary(
+            source_id=upload.source_id,
+            rect=BoundingBox(*upload.rect),
+            dataset_count=upload.dataset_count,
+        )
+        self._global_index.register(summary)
+        self._sources[source.source_id] = source
+
+    def refresh_source(self, source_id: str) -> None:
+        """Re-receive ``source_id``'s root summary after its datasets changed.
+
+        Incremental inserts/updates at a source can grow or shrink its MBR;
+        the source re-uploads its root summary and DITS-G is refreshed so
+        query routing stays correct (Appendix IX-C applied at the global
+        level).
+        """
+        source = self.source(source_id)
+        upload: RootUpload = source.root_upload()
+        self.channel.send(upload, destination=source_id, to_center=True)
+        self._global_index.register(
+            SourceSummary(
+                source_id=upload.source_id,
+                rect=BoundingBox(*upload.rect),
+                dataset_count=upload.dataset_count,
+            )
+        )
+
+    def source_ids(self) -> list[str]:
+        """IDs of all registered sources."""
+        return sorted(self._sources)
+
+    def source(self, source_id: str) -> DataSource:
+        """The registered source object for ``source_id``."""
+        try:
+            return self._sources[source_id]
+        except KeyError as exc:
+            raise SourceNotFoundError(source_id) from exc
+
+    @property
+    def global_index(self) -> DITSGlobalIndex:
+        """The DITS-G global index."""
+        return self._global_index
+
+    # ------------------------------------------------------------------ #
+    # Overlap joinable search (OJSP)
+    # ------------------------------------------------------------------ #
+    def overlap_search(self, query: DatasetNode, k: int) -> OverlapResult:
+        """Run multi-source OJSP for ``query`` (cells in the center's grid)."""
+        query_id = f"q{next(self._query_counter)}"
+        query_geo_rect = self._grid_rect_to_geo(query.rect)
+        candidates = self._candidate_sources(query_geo_rect, delta_geo=0.0)
+
+        heap: BoundedTopK[tuple[str, str]] = BoundedTopK(k)
+        for summary in candidates:
+            source = self._sources[summary.source_id]
+            cells = self._clip_cells(query, summary.rect)
+            if not cells:
+                continue
+            request = OverlapRequest(
+                query_id=query_id,
+                cells=tuple(sorted(cells)),
+                query_rect=query_geo_rect.as_tuple(),
+                k=k,
+            )
+            self.channel.send(request, destination=summary.source_id)
+            response: OverlapResponse = source.handle_overlap(request, self.grid)
+            self.channel.send(response, destination=summary.source_id, to_center=True)
+            for dataset_id, score in response.results:
+                heap.push(score, (summary.source_id, dataset_id))
+
+        entries = tuple(
+            ScoredDataset(dataset_id=dataset_id, score=score, source_id=source_id)
+            for score, (source_id, dataset_id) in heap.items()
+        )
+        return OverlapResult(entries=entries)
+
+    # ------------------------------------------------------------------ #
+    # Coverage joinable search (CJSP)
+    # ------------------------------------------------------------------ #
+    def coverage_search(self, query: DatasetNode, k: int, delta: float) -> CoverageResult:
+        """Run multi-source CJSP for ``query``.
+
+        Every candidate source runs its local greedy search and proposes up to
+        ``k`` datasets (with their cell sets translated into the center grid);
+        the data center then runs a final greedy pass over the union of
+        proposals, enforcing connectivity against the merged result, so the
+        returned set is connected and at most ``k`` large.
+        """
+        query_id = f"q{next(self._query_counter)}"
+        delta_geo = self._delta_to_geo(delta)
+        query_geo_rect = self._grid_rect_to_geo(query.rect)
+        candidates = self._candidate_sources(query_geo_rect, delta_geo=delta_geo)
+
+        proposals: dict[str, tuple[str, frozenset[int]]] = {}
+        for summary in candidates:
+            source = self._sources[summary.source_id]
+            clip_rect = summary.rect.expanded(delta_geo)
+            cells = self._clip_cells(query, clip_rect)
+            if not cells:
+                continue
+            request = CoverageRequest(
+                query_id=query_id,
+                cells=tuple(sorted(cells)),
+                query_rect=query_geo_rect.as_tuple(),
+                k=k,
+                delta=delta,
+            )
+            self.channel.send(request, destination=summary.source_id)
+            response: CoverageResponse = source.handle_coverage(request, self.grid)
+            self.channel.send(response, destination=summary.source_id, to_center=True)
+            for dataset_id, cell_tuple in response.selections:
+                proposals[dataset_id] = (summary.source_id, frozenset(cell_tuple))
+
+        return self._aggregate_coverage(query, k, delta, proposals)
+
+    def _aggregate_coverage(
+        self,
+        query: DatasetNode,
+        k: int,
+        delta: float,
+        proposals: dict[str, tuple[str, frozenset[int]]],
+    ) -> CoverageResult:
+        candidate_nodes: dict[str, DatasetNode] = {}
+        source_of: dict[str, str] = {}
+        for dataset_id, (source_id, cells) in proposals.items():
+            if not cells:
+                continue
+            candidate_nodes[dataset_id] = DatasetNode.from_cells(dataset_id, cells, self.grid)
+            source_of[dataset_id] = source_id
+
+        merged = query
+        covered: set[int] = set(query.cells)
+        entries: list[ScoredDataset] = []
+        remaining = dict(candidate_nodes)
+        from repro.core.connectivity import is_directly_connected  # local import avoids a cycle
+
+        for _ in range(k):
+            best_id: str | None = None
+            best_gain = 0
+            for dataset_id in sorted(remaining):
+                node = remaining[dataset_id]
+                if not is_directly_connected(node, merged, delta):
+                    continue
+                gain = len(node.cells - covered)
+                if gain > best_gain:
+                    best_gain = gain
+                    best_id = dataset_id
+            if best_id is None or best_gain == 0:
+                break
+            node = remaining.pop(best_id)
+            covered |= node.cells
+            merged = merged.merged_with(node, merged_id="__merged_query__")
+            entries.append(
+                ScoredDataset(
+                    dataset_id=best_id, score=float(best_gain), source_id=source_of[best_id]
+                )
+            )
+
+        return CoverageResult(
+            entries=tuple(entries),
+            total_coverage=len(covered),
+            query_coverage=len(query.cells),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Distribution strategy helpers
+    # ------------------------------------------------------------------ #
+    def _candidate_sources(self, query_geo_rect: BoundingBox, delta_geo: float) -> list[SourceSummary]:
+        if self.policy.route_to_candidates:
+            return self._global_index.candidate_sources(query_geo_rect, delta_geo)
+        return list(self._global_index.all_summaries())
+
+    def _clip_cells(self, query: DatasetNode, geo_rect: BoundingBox) -> list[int]:
+        """Cells of ``query`` whose geographic position falls inside ``geo_rect``."""
+        if not self.policy.clip_query:
+            return sorted(query.cells)
+        kept = []
+        for cell in query.cells:
+            center = self.grid.cell_center(cell)
+            if geo_rect.contains_point(center):
+                kept.append(cell)
+        return sorted(kept)
+
+    def _grid_rect_to_geo(self, rect: BoundingBox) -> BoundingBox:
+        return BoundingBox(
+            self.grid.space.min_x + rect.min_x * self.grid.cell_width,
+            self.grid.space.min_y + rect.min_y * self.grid.cell_height,
+            self.grid.space.min_x + (rect.max_x + 1) * self.grid.cell_width,
+            self.grid.space.min_y + (rect.max_y + 1) * self.grid.cell_height,
+        )
+
+    def _delta_to_geo(self, delta: float) -> float:
+        """Convert a connectivity threshold in cell units to geographic units."""
+        return delta * max(self.grid.cell_width, self.grid.cell_height)

@@ -1,0 +1,97 @@
+"""Simulated communication channel between the data center and data sources.
+
+The paper's Figs. 13–14 and 19–20 report *communication cost* (bytes
+transferred) and *transmission time* (bytes divided by a fixed network
+bandwidth).  :class:`SimulatedChannel` reproduces both metrics for an
+in-process deployment: every message routed through :meth:`send` is measured
+with :func:`repro.utils.sizeof.encoded_size` and tallied per direction, and
+:meth:`transmission_time_ms` converts the byte total into milliseconds under
+a configurable bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.sizeof import encoded_size
+
+__all__ = ["ChannelStats", "SimulatedChannel"]
+
+#: Default simulated bandwidth: 1 MiB/s, a conservative WAN figure.
+DEFAULT_BANDWIDTH_BYTES_PER_SECOND = 1_048_576
+#: Default per-message latency in milliseconds.
+DEFAULT_LATENCY_MS = 0.5
+
+
+@dataclass(slots=True)
+class ChannelStats:
+    """Aggregated traffic statistics for one simulated channel."""
+
+    messages_sent: int = 0
+    bytes_to_sources: int = 0
+    bytes_to_center: int = 0
+    per_source_bytes: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes that crossed the channel in either direction."""
+        return self.bytes_to_sources + self.bytes_to_center
+
+
+class SimulatedChannel:
+    """Byte- and message-counting channel with a simple bandwidth/latency model."""
+
+    def __init__(
+        self,
+        bandwidth_bytes_per_second: float = DEFAULT_BANDWIDTH_BYTES_PER_SECOND,
+        latency_ms: float = DEFAULT_LATENCY_MS,
+    ) -> None:
+        if bandwidth_bytes_per_second <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency_ms < 0:
+            raise ValueError("latency must be non-negative")
+        self.bandwidth_bytes_per_second = bandwidth_bytes_per_second
+        self.latency_ms = latency_ms
+        self.stats = ChannelStats()
+
+    # ------------------------------------------------------------------ #
+    # Traffic accounting
+    # ------------------------------------------------------------------ #
+    def send(self, message: object, destination: str, to_center: bool = False) -> int:
+        """Account for ``message`` travelling to ``destination``; returns its size.
+
+        ``to_center`` distinguishes upstream traffic (source -> center) from
+        downstream traffic (center -> source) so the two directions can be
+        reported separately.
+        """
+        size = encoded_size(message)
+        self.stats.messages_sent += 1
+        if to_center:
+            self.stats.bytes_to_center += size
+        else:
+            self.stats.bytes_to_sources += size
+        self.stats.per_source_bytes[destination] = (
+            self.stats.per_source_bytes.get(destination, 0) + size
+        )
+        return size
+
+    def reset(self) -> None:
+        """Clear all accumulated statistics."""
+        self.stats = ChannelStats()
+
+    # ------------------------------------------------------------------ #
+    # Derived metrics
+    # ------------------------------------------------------------------ #
+    def transmission_time_ms(self) -> float:
+        """Total transmission time implied by the byte count and message count."""
+        transfer_ms = self.stats.total_bytes / self.bandwidth_bytes_per_second * 1000.0
+        return transfer_ms + self.stats.messages_sent * self.latency_ms
+
+    def snapshot(self) -> ChannelStats:
+        """A copy of the current statistics."""
+        return ChannelStats(
+            messages_sent=self.stats.messages_sent,
+            bytes_to_sources=self.stats.bytes_to_sources,
+            bytes_to_center=self.stats.bytes_to_center,
+            per_source_bytes=dict(self.stats.per_source_bytes),
+        )

@@ -1,0 +1,139 @@
+"""Message types exchanged between the data center and data sources.
+
+Each message knows how to describe itself as a ``wire_payload`` — a plain
+structure of numbers, strings and containers — which the simulated channel
+feeds to :func:`repro.utils.sizeof.encoded_size` to account for the bytes a
+real deployment would put on the network.  The query-distribution strategies
+of Section VI-A are visible here: an :class:`OverlapRequest` or
+:class:`CoverageRequest` carries only the *clipped* portion of the query's
+cells that intersects the target source's region, not the whole query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.geometry import BoundingBox
+
+__all__ = [
+    "RootUpload",
+    "OverlapRequest",
+    "OverlapResponse",
+    "CoverageRequest",
+    "CoverageResponse",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class RootUpload:
+    """A source uploading its DITS-L root summary to the data center."""
+
+    source_id: str
+    rect: tuple[float, float, float, float]
+    dataset_count: int
+
+    def wire_payload(self) -> dict:
+        """Payload used for byte accounting."""
+        return {"source": self.source_id, "rect": list(self.rect), "count": self.dataset_count}
+
+
+@dataclass(frozen=True, slots=True)
+class OverlapRequest:
+    """An OJSP request sent from the data center to one candidate source."""
+
+    query_id: str
+    cells: tuple[int, ...]
+    query_rect: tuple[float, float, float, float]
+    k: int
+
+    def wire_payload(self) -> dict:
+        """Payload used for byte accounting."""
+        return {
+            "query": self.query_id,
+            "cells": list(self.cells),
+            "rect": list(self.query_rect),
+            "k": self.k,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class OverlapResponse:
+    """A source's local OJSP answer: ``(dataset_id, overlap)`` pairs."""
+
+    source_id: str
+    query_id: str
+    results: tuple[tuple[str, float], ...]
+
+    def wire_payload(self) -> dict:
+        """Payload used for byte accounting."""
+        return {
+            "source": self.source_id,
+            "query": self.query_id,
+            "results": [[dataset_id, score] for dataset_id, score in self.results],
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class CoverageRequest:
+    """A CJSP request sent from the data center to one candidate source.
+
+    ``known_cells`` carries the cells already covered by the data center's
+    partial result so the source can compute true marginal gains; it is
+    clipped to the source's region for the same byte-saving reason as the
+    query cells.
+    """
+
+    query_id: str
+    cells: tuple[int, ...]
+    query_rect: tuple[float, float, float, float]
+    k: int
+    delta: float
+    known_cells: tuple[int, ...] = field(default=())
+    exclude_ids: tuple[str, ...] = field(default=())
+
+    def wire_payload(self) -> dict:
+        """Payload used for byte accounting."""
+        return {
+            "query": self.query_id,
+            "cells": list(self.cells),
+            "rect": list(self.query_rect),
+            "k": self.k,
+            "delta": self.delta,
+            "known": list(self.known_cells),
+            "exclude": list(self.exclude_ids),
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class CoverageResponse:
+    """A source's local CJSP answer: selected datasets with their new cells."""
+
+    source_id: str
+    query_id: str
+    selections: tuple[tuple[str, tuple[int, ...]], ...]
+
+    def wire_payload(self) -> dict:
+        """Payload used for byte accounting."""
+        return {
+            "source": self.source_id,
+            "query": self.query_id,
+            "selections": [
+                [dataset_id, list(cells)] for dataset_id, cells in self.selections
+            ],
+        }
+
+
+def clip_cells_to_rect(
+    cells: Sequence[int], cell_coords: Sequence[tuple[int, int]], rect: BoundingBox
+) -> list[int]:
+    """Keep the cells whose grid coordinates fall inside ``rect``.
+
+    Helper shared by the data center's clipping strategy; ``cell_coords`` must
+    be aligned with ``cells``.
+    """
+    return [
+        cell
+        for cell, (col, row) in zip(cells, cell_coords)
+        if rect.min_x <= col <= rect.max_x and rect.min_y <= row <= rect.max_y
+    ]

@@ -1,0 +1,174 @@
+"""A data source: owns its datasets, its DITS-L index and its local search.
+
+Every :class:`DataSource` is autonomous (Section IV): it grids its own
+datasets, builds its own DITS-L at its own resolution and leaf capacity, and
+answers OJSP/CJSP requests arriving from the data center against its local
+index only.  The only information it ever ships out unprompted is its root
+summary (MBR + dataset count) in geographic coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.dataset import DatasetNode, SpatialDataset
+from repro.core.errors import EmptyDatasetError
+from repro.core.geometry import BoundingBox
+from repro.core.grid import Grid
+from repro.distributed.messages import (
+    CoverageRequest,
+    CoverageResponse,
+    OverlapRequest,
+    OverlapResponse,
+    RootUpload,
+)
+from repro.index.dits import DITSLocalIndex
+from repro.search.coverage import CoverageSearch
+from repro.search.overlap import OverlapSearch
+
+__all__ = ["DataSource", "grid_rect_to_geo"]
+
+
+def grid_rect_to_geo(grid: Grid, rect: BoundingBox) -> BoundingBox:
+    """Convert an MBR expressed in grid-cell coordinates to geographic coordinates."""
+    return BoundingBox(
+        grid.space.min_x + rect.min_x * grid.cell_width,
+        grid.space.min_y + rect.min_y * grid.cell_height,
+        grid.space.min_x + (rect.max_x + 1) * grid.cell_width,
+        grid.space.min_y + (rect.max_y + 1) * grid.cell_height,
+    )
+
+
+class DataSource:
+    """One autonomous spatial data source with a DITS-L local index."""
+
+    def __init__(
+        self,
+        source_id: str,
+        grid: Grid,
+        leaf_capacity: int = 30,
+    ) -> None:
+        self.source_id = source_id
+        self.grid = grid
+        self._index = DITSLocalIndex(leaf_capacity=leaf_capacity)
+        self._overlap_search = OverlapSearch(self._index)
+        self._coverage_search = CoverageSearch(self._index)
+
+    # ------------------------------------------------------------------ #
+    # Loading data
+    # ------------------------------------------------------------------ #
+    def load_datasets(self, datasets: Iterable[SpatialDataset]) -> None:
+        """Grid ``datasets`` and (re)build the local index over them."""
+        nodes = [dataset.to_node(self.grid) for dataset in datasets]
+        self._index.build(nodes)
+
+    def load_nodes(self, nodes: Iterable[DatasetNode]) -> None:
+        """(Re)build the local index directly from pre-gridded dataset nodes."""
+        self._index.build(list(nodes))
+
+    def add_dataset(self, dataset: SpatialDataset) -> None:
+        """Incrementally index a new dataset."""
+        self._index.insert(dataset.to_node(self.grid))
+
+    def remove_dataset(self, dataset_id: str) -> None:
+        """Remove a dataset from the local index."""
+        self._index.delete(dataset_id)
+
+    @property
+    def index(self) -> DITSLocalIndex:
+        """The source's DITS-L local index."""
+        return self._index
+
+    def dataset_count(self) -> int:
+        """Number of datasets indexed by this source."""
+        return len(self._index)
+
+    # ------------------------------------------------------------------ #
+    # Root upload (DITS-G registration)
+    # ------------------------------------------------------------------ #
+    def root_upload(self) -> RootUpload:
+        """The root summary shipped to the data center (geographic coordinates)."""
+        if not self._index.is_built():
+            raise EmptyDatasetError(f"source {self.source_id!r} has no datasets")
+        rect, _pivot, _radius, count = self._index.root_summary()
+        geo_rect = grid_rect_to_geo(self.grid, rect)
+        return RootUpload(
+            source_id=self.source_id,
+            rect=geo_rect.as_tuple(),
+            dataset_count=count,
+        )
+
+    def geographic_region(self) -> BoundingBox:
+        """The geographic MBR of everything this source stores."""
+        rect, _, _, _ = self._index.root_summary()
+        return grid_rect_to_geo(self.grid, rect)
+
+    # ------------------------------------------------------------------ #
+    # Local query execution
+    # ------------------------------------------------------------------ #
+    def handle_overlap(self, request: OverlapRequest, center_grid: Grid) -> OverlapResponse:
+        """Answer an OJSP request from the data center against the local index."""
+        query_node = self._request_query_node(request.query_id, request.cells, center_grid)
+        if query_node is None:
+            return OverlapResponse(
+                source_id=self.source_id, query_id=request.query_id, results=()
+            )
+        result = self._overlap_search.search_node(query_node, request.k)
+        return OverlapResponse(
+            source_id=self.source_id,
+            query_id=request.query_id,
+            results=tuple((entry.dataset_id, entry.score) for entry in result.entries),
+        )
+
+    def handle_coverage(self, request: CoverageRequest, center_grid: Grid) -> CoverageResponse:
+        """Answer a CJSP request: run the local greedy search and return selections.
+
+        The response carries, for every locally selected dataset, the full
+        list of cells it covers translated back into the *center's* grid so
+        the data center can compute global marginal gains and connectivity.
+        """
+        query_node = self._request_query_node(request.query_id, request.cells, center_grid)
+        if query_node is None:
+            return CoverageResponse(
+                source_id=self.source_id, query_id=request.query_id, selections=()
+            )
+        result = self._coverage_search.search_node(query_node, request.k, request.delta)
+        selections = []
+        for entry in result.entries:
+            if entry.dataset_id in request.exclude_ids:
+                continue
+            node = self._index.get(entry.dataset_id)
+            center_cells = self._cells_to_center_grid(node.cells, center_grid)
+            selections.append((entry.dataset_id, tuple(sorted(center_cells))))
+        return CoverageResponse(
+            source_id=self.source_id,
+            query_id=request.query_id,
+            selections=tuple(selections),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Grid translation helpers
+    # ------------------------------------------------------------------ #
+    def _request_query_node(
+        self, query_id: str, cells: Sequence[int], center_grid: Grid
+    ) -> DatasetNode | None:
+        """Translate the request's cells (center grid) into a local query node."""
+        if not cells:
+            return None
+        local_cells = self._cells_from_center_grid(cells, center_grid)
+        if not local_cells:
+            return None
+        return DatasetNode.from_cells(f"__query__{query_id}", local_cells, self.grid)
+
+    def _cells_from_center_grid(self, cells: Sequence[int], center_grid: Grid) -> set[int]:
+        if self._same_grid(center_grid):
+            return set(cells)
+        return {center_grid.rescale_cell(cell, self.grid) for cell in cells}
+
+    def _cells_to_center_grid(self, cells: Iterable[int], center_grid: Grid) -> set[int]:
+        if self._same_grid(center_grid):
+            return set(cells)
+        return {self.grid.rescale_cell(cell, center_grid) for cell in cells}
+
+    def _same_grid(self, other: Grid) -> bool:
+        return other.theta == self.grid.theta and other.space == self.grid.space

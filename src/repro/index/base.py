@@ -1,0 +1,108 @@
+"""Common interface implemented by every dataset-level index.
+
+All five indexes compared in the paper (DITS-L, QuadTree, R-tree, STS3 and
+Josie) index a *collection of datasets within one data source* and must
+support the same operations so the benchmark harness can sweep over them:
+
+* ``build(nodes)`` — bulk construction from dataset nodes.
+* ``insert(node)`` / ``update(node)`` / ``delete(dataset_id)`` — the
+  maintenance operations measured in Figs. 21–22.
+* ``get(dataset_id)`` / ``__len__`` / ``dataset_ids()`` — lookups.
+
+Search algorithms are *not* part of this interface: OJSP/CJSP strategies live
+in :mod:`repro.search` and each knows which index type it runs against.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator
+
+from repro.core.dataset import DatasetNode
+from repro.core.errors import DatasetNotFoundError
+
+__all__ = ["DatasetIndex"]
+
+
+class DatasetIndex(ABC):
+    """Abstract base class for per-source dataset indexes."""
+
+    #: Human-readable name used in benchmark tables.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, DatasetNode] = {}
+
+    # ------------------------------------------------------------------ #
+    # Bulk construction
+    # ------------------------------------------------------------------ #
+    def build(self, nodes: Iterable[DatasetNode]) -> None:
+        """Build the index from scratch over ``nodes``."""
+        self._nodes = {node.dataset_id: node for node in nodes}
+        self._rebuild()
+
+    @abstractmethod
+    def _rebuild(self) -> None:
+        """(Re)build internal structures from ``self._nodes``."""
+
+    # ------------------------------------------------------------------ #
+    # Maintenance operations
+    # ------------------------------------------------------------------ #
+    def insert(self, node: DatasetNode) -> None:
+        """Insert a new dataset node."""
+        if node.dataset_id in self._nodes:
+            raise ValueError(f"dataset {node.dataset_id!r} already indexed; use update()")
+        self._nodes[node.dataset_id] = node
+        self._insert_structure(node)
+
+    def update(self, node: DatasetNode) -> None:
+        """Replace the indexed node for ``node.dataset_id`` with ``node``."""
+        if node.dataset_id not in self._nodes:
+            raise DatasetNotFoundError(node.dataset_id)
+        old = self._nodes[node.dataset_id]
+        self._nodes[node.dataset_id] = node
+        self._update_structure(old, node)
+
+    def delete(self, dataset_id: str) -> None:
+        """Remove ``dataset_id`` from the index."""
+        if dataset_id not in self._nodes:
+            raise DatasetNotFoundError(dataset_id)
+        node = self._nodes.pop(dataset_id)
+        self._delete_structure(node)
+
+    @abstractmethod
+    def _insert_structure(self, node: DatasetNode) -> None:
+        """Structure-specific insert hook."""
+
+    def _update_structure(self, old: DatasetNode, new: DatasetNode) -> None:
+        """Structure-specific update hook; defaults to delete + insert."""
+        self._delete_structure(old)
+        self._insert_structure(new)
+
+    @abstractmethod
+    def _delete_structure(self, node: DatasetNode) -> None:
+        """Structure-specific delete hook."""
+
+    # ------------------------------------------------------------------ #
+    # Lookups
+    # ------------------------------------------------------------------ #
+    def get(self, dataset_id: str) -> DatasetNode:
+        """Return the node for ``dataset_id`` or raise :class:`DatasetNotFoundError`."""
+        try:
+            return self._nodes[dataset_id]
+        except KeyError as exc:
+            raise DatasetNotFoundError(dataset_id) from exc
+
+    def dataset_ids(self) -> list[str]:
+        """IDs of all indexed datasets (sorted for determinism)."""
+        return sorted(self._nodes)
+
+    def nodes(self) -> Iterator[DatasetNode]:
+        """Iterate over all indexed dataset nodes."""
+        return iter(self._nodes.values())
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, dataset_id: str) -> bool:
+        return dataset_id in self._nodes

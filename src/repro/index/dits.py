@@ -1,0 +1,404 @@
+"""DITS-L: the local DIstributed Tree-based Spatial index (Section V-A).
+
+DITS-L is a binary tree over *dataset nodes* (one entry per dataset, not per
+point) built top-down by recursively splitting on the widest dimension at the
+median pivot (Algorithm 1).  The structure combines two classic indexes:
+
+* like a ball tree / kd-tree, every tree node stores the MBR, pivot and
+  radius enclosing its subtree, which enables MBR pruning and the Lemma 4
+  distance bounds used by CoverageSearch;
+* like an inverted index, every *leaf* stores posting lists mapping each cell
+  ID to the dataset IDs in the leaf that contain it, which enables the
+  Lemma 2/3 intersection bounds and fast verification used by OverlapSearch.
+
+The tree keeps parent pointers (a bidirectional structure) so the incremental
+insert/update/delete operations of Appendix IX-C only touch one root-to-leaf
+path.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Callable, Iterable, Iterator
+
+from repro.core.dataset import DatasetNode
+from repro.core.errors import (
+    DatasetNotFoundError,
+    IndexNotBuiltError,
+    InvalidParameterError,
+)
+from repro.core.geometry import BoundingBox, Point
+from repro.index.base import DatasetIndex
+
+__all__ = ["DITSLocalIndex", "TreeNode", "InternalNode", "LeafNode"]
+
+DEFAULT_LEAF_CAPACITY = 30
+
+
+class TreeNode:
+    """Base class for DITS-L tree nodes: carries MBR, pivot, radius and parent."""
+
+    __slots__ = ("rect", "pivot", "radius", "parent")
+
+    def __init__(self, rect: BoundingBox, parent: "InternalNode | None" = None) -> None:
+        self.rect = rect
+        self.pivot = rect.center
+        self.radius = rect.radius
+        self.parent = parent
+
+    def is_leaf(self) -> bool:
+        """Whether this node is a leaf (overridden by subclasses)."""
+        raise NotImplementedError
+
+    def _set_rect(self, rect: BoundingBox) -> None:
+        self.rect = rect
+        self.pivot = rect.center
+        self.radius = rect.radius
+
+
+class InternalNode(TreeNode):
+    """An internal DITS-L node with exactly two children (Definition 13)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(
+        self,
+        rect: BoundingBox,
+        left: "TreeNode",
+        right: "TreeNode",
+        parent: "InternalNode | None" = None,
+    ) -> None:
+        super().__init__(rect, parent)
+        self.left = left
+        self.right = right
+        left.parent = self
+        right.parent = self
+
+    def is_leaf(self) -> bool:
+        return False
+
+    def children(self) -> tuple["TreeNode", "TreeNode"]:
+        """The two child nodes as ``(left, right)``."""
+        return self.left, self.right
+
+    def replace_child(self, old: "TreeNode", new: "TreeNode") -> None:
+        """Swap ``old`` for ``new`` among the children."""
+        if self.left is old:
+            self.left = new
+        elif self.right is old:
+            self.right = new
+        else:
+            raise ValueError("node to replace is not a child of this internal node")
+        new.parent = self
+
+
+class LeafNode(TreeNode):
+    """A DITS-L leaf holding dataset nodes and their inverted index (Definition 14)."""
+
+    __slots__ = ("entries", "inverted", "capacity")
+
+    def __init__(
+        self,
+        rect: BoundingBox,
+        entries: list[DatasetNode],
+        capacity: int,
+        parent: "InternalNode | None" = None,
+    ) -> None:
+        super().__init__(rect, parent)
+        self.entries = list(entries)
+        self.capacity = capacity
+        self.inverted: dict[int, list[str]] = {}
+        self.rebuild_inverted()
+
+    def is_leaf(self) -> bool:
+        return True
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def rebuild_inverted(self) -> None:
+        """Recompute the cell-ID -> dataset-ID posting lists from the entries."""
+        inverted: dict[int, list[str]] = {}
+        for entry in self.entries:
+            for cell in entry.cells:
+                inverted.setdefault(cell, []).append(entry.dataset_id)
+        self.inverted = inverted
+
+    def add_entry(self, node: DatasetNode) -> None:
+        """Append a dataset node and extend the posting lists."""
+        self.entries.append(node)
+        for cell in node.cells:
+            self.inverted.setdefault(cell, []).append(node.dataset_id)
+
+    def remove_entry(self, dataset_id: str) -> DatasetNode:
+        """Remove the entry with ``dataset_id`` and shrink the posting lists."""
+        for position, entry in enumerate(self.entries):
+            if entry.dataset_id == dataset_id:
+                removed = self.entries.pop(position)
+                for cell in removed.cells:
+                    postings = self.inverted.get(cell, [])
+                    if dataset_id in postings:
+                        postings.remove(dataset_id)
+                    if not postings:
+                        self.inverted.pop(cell, None)
+                return removed
+        raise DatasetNotFoundError(dataset_id)
+
+    def dataset_ids(self) -> list[str]:
+        """IDs of the datasets stored in the leaf."""
+        return [entry.dataset_id for entry in self.entries]
+
+
+class DITSLocalIndex(DatasetIndex):
+    """The DITS-L local index (Algorithm 1).
+
+    Parameters
+    ----------
+    leaf_capacity:
+        Maximum number of dataset nodes per leaf (parameter ``f`` in the
+        paper, default 30 to match the paper's mid-range setting).
+    """
+
+    name = "DITS-L"
+
+    def __init__(self, leaf_capacity: int = DEFAULT_LEAF_CAPACITY) -> None:
+        super().__init__()
+        if leaf_capacity <= 0:
+            raise InvalidParameterError(f"leaf capacity must be positive, got {leaf_capacity}")
+        self.leaf_capacity = leaf_capacity
+        self._root: TreeNode | None = None
+        self._leaf_of: dict[str, LeafNode] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction (Algorithm 1, top-down median split)
+    # ------------------------------------------------------------------ #
+    @property
+    def root(self) -> TreeNode:
+        """The root tree node; raises if the index is empty/unbuilt."""
+        if self._root is None:
+            raise IndexNotBuiltError("DITS-L index has not been built or is empty")
+        return self._root
+
+    def is_built(self) -> bool:
+        """Whether the tree currently holds at least one dataset."""
+        return self._root is not None
+
+    def _rebuild(self) -> None:
+        self._leaf_of = {}
+        entries = list(self._nodes.values())
+        self._root = self._build_subtree(entries, parent=None) if entries else None
+
+    def _build_subtree(
+        self, entries: list[DatasetNode], parent: InternalNode | None
+    ) -> TreeNode:
+        rect = BoundingBox.union_of(entry.rect for entry in entries)
+        if len(entries) <= self.leaf_capacity:
+            leaf = LeafNode(rect, entries, self.leaf_capacity, parent)
+            for entry in entries:
+                self._leaf_of[entry.dataset_id] = leaf
+            return leaf
+
+        split_dim = 0 if rect.width >= rect.height else 1
+        left_entries, right_entries = _median_split(entries, split_dim)
+        node = InternalNode(
+            rect,
+            left=self._build_subtree(left_entries, parent=None),
+            right=self._build_subtree(right_entries, parent=None),
+            parent=parent,
+        )
+        return node
+
+    # ------------------------------------------------------------------ #
+    # Maintenance (Appendix IX-C)
+    # ------------------------------------------------------------------ #
+    def _insert_structure(self, node: DatasetNode) -> None:
+        if self._root is None:
+            leaf = LeafNode(node.rect, [node], self.leaf_capacity, parent=None)
+            self._root = leaf
+            self._leaf_of[node.dataset_id] = leaf
+            return
+        leaf = self._choose_leaf(node)
+        leaf.add_entry(node)
+        leaf._set_rect(leaf.rect.union(node.rect))
+        self._leaf_of[node.dataset_id] = leaf
+        if len(leaf) > self.leaf_capacity:
+            self._split_leaf(leaf)
+        else:
+            self._refit_upwards(leaf)
+
+    def _delete_structure(self, node: DatasetNode) -> None:
+        leaf = self._leaf_of.pop(node.dataset_id, None)
+        if leaf is None:
+            raise DatasetNotFoundError(node.dataset_id)
+        leaf.remove_entry(node.dataset_id)
+        if leaf.entries:
+            leaf._set_rect(BoundingBox.union_of(entry.rect for entry in leaf.entries))
+            self._refit_upwards(leaf)
+        else:
+            self._remove_empty_leaf(leaf)
+
+    def _update_structure(self, old: DatasetNode, new: DatasetNode) -> None:
+        leaf = self._leaf_of.get(old.dataset_id)
+        if leaf is None:
+            raise DatasetNotFoundError(old.dataset_id)
+        leaf.remove_entry(old.dataset_id)
+        leaf.add_entry(new)
+        leaf._set_rect(BoundingBox.union_of(entry.rect for entry in leaf.entries))
+        if len(leaf) > self.leaf_capacity:
+            self._split_leaf(leaf)
+        else:
+            self._refit_upwards(leaf)
+
+    def _choose_leaf(self, node: DatasetNode) -> LeafNode:
+        """Descend from the root choosing the child whose pivot is closest."""
+        current = self.root
+        while not current.is_leaf():
+            assert isinstance(current, InternalNode)
+            left_distance = current.left.pivot.distance_to(node.pivot)
+            right_distance = current.right.pivot.distance_to(node.pivot)
+            current = current.left if left_distance <= right_distance else current.right
+        assert isinstance(current, LeafNode)
+        return current
+
+    def _split_leaf(self, leaf: LeafNode) -> None:
+        """Split an over-full leaf into two along its widest dimension."""
+        rect = BoundingBox.union_of(entry.rect for entry in leaf.entries)
+        split_dim = 0 if rect.width >= rect.height else 1
+        left_entries, right_entries = _median_split(leaf.entries, split_dim)
+        parent = leaf.parent
+        left_leaf = LeafNode(
+            BoundingBox.union_of(entry.rect for entry in left_entries),
+            left_entries,
+            self.leaf_capacity,
+        )
+        right_leaf = LeafNode(
+            BoundingBox.union_of(entry.rect for entry in right_entries),
+            right_entries,
+            self.leaf_capacity,
+        )
+        for entry in left_entries:
+            self._leaf_of[entry.dataset_id] = left_leaf
+        for entry in right_entries:
+            self._leaf_of[entry.dataset_id] = right_leaf
+        replacement = InternalNode(rect, left_leaf, right_leaf, parent)
+        if parent is None:
+            self._root = replacement
+        else:
+            parent.replace_child(leaf, replacement)
+            self._refit_upwards(replacement)
+
+    def _remove_empty_leaf(self, leaf: LeafNode) -> None:
+        """Remove a leaf that lost its last entry, collapsing its parent."""
+        parent = leaf.parent
+        if parent is None:
+            self._root = None
+            return
+        sibling = parent.right if parent.left is leaf else parent.left
+        grandparent = parent.parent
+        if grandparent is None:
+            self._root = sibling
+            sibling.parent = None
+        else:
+            grandparent.replace_child(parent, sibling)
+            self._refit_upwards(sibling)
+
+    def _refit_upwards(self, node: TreeNode) -> None:
+        """Re-tighten MBRs from ``node``'s parent up to the root."""
+        current = node.parent
+        while current is not None:
+            current._set_rect(current.left.rect.union(current.right.rect))
+            current = current.parent
+
+    # ------------------------------------------------------------------ #
+    # Traversal helpers used by the search algorithms
+    # ------------------------------------------------------------------ #
+    def leaves(self) -> Iterator[LeafNode]:
+        """Iterate over all leaves (left-to-right order)."""
+        if self._root is None:
+            return
+        stack: list[TreeNode] = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf():
+                yield node  # type: ignore[misc]
+            else:
+                assert isinstance(node, InternalNode)
+                stack.append(node.right)
+                stack.append(node.left)
+
+    def leaf_for(self, dataset_id: str) -> LeafNode:
+        """The leaf currently storing ``dataset_id``."""
+        try:
+            return self._leaf_of[dataset_id]
+        except KeyError as exc:
+            raise DatasetNotFoundError(dataset_id) from exc
+
+    def height(self) -> int:
+        """Height of the tree (a single leaf has height 1)."""
+        def depth(node: TreeNode) -> int:
+            if node.is_leaf():
+                return 1
+            assert isinstance(node, InternalNode)
+            return 1 + max(depth(node.left), depth(node.right))
+
+        return depth(self._root) if self._root is not None else 0
+
+    def node_count(self) -> int:
+        """Total number of tree nodes (internal + leaves)."""
+        count = 0
+        if self._root is None:
+            return 0
+        stack: list[TreeNode] = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.is_leaf():
+                assert isinstance(node, InternalNode)
+                stack.extend(node.children())
+        return count
+
+    def visit(self, callback: Callable[[TreeNode], bool]) -> None:
+        """Depth-first traversal; ``callback`` returns ``False`` to prune a subtree."""
+        if self._root is None:
+            return
+        stack: list[TreeNode] = [self._root]
+        while stack:
+            node = stack.pop()
+            if not callback(node):
+                continue
+            if not node.is_leaf():
+                assert isinstance(node, InternalNode)
+                stack.extend(node.children())
+
+    def root_summary(self) -> tuple[BoundingBox, Point, float, int]:
+        """The ``(rect, pivot, radius, n_datasets)`` summary shipped to DITS-G."""
+        root = self.root
+        return root.rect, root.pivot, root.radius, len(self)
+
+
+def _median_split(
+    entries: Iterable[DatasetNode], dimension: int
+) -> tuple[list[DatasetNode], list[DatasetNode]]:
+    """Split ``entries`` at the median pivot coordinate along ``dimension``.
+
+    Entries are first sorted by the chosen coordinate (ties broken by dataset
+    ID for determinism) and then cut at the median position, which guarantees
+    both halves are non-empty even when many pivots coincide.
+    """
+    ordered = sorted(
+        entries,
+        key=lambda entry: (
+            entry.pivot.x if dimension == 0 else entry.pivot.y,
+            entry.dataset_id,
+        ),
+    )
+    if len(ordered) < 2:
+        raise ValueError("cannot split fewer than two entries")
+    midpoint = len(ordered) // 2
+    return ordered[:midpoint], ordered[midpoint:]
+
+
+def median_pivot(entries: Iterable[DatasetNode], dimension: int) -> float:
+    """Median pivot coordinate along ``dimension`` (exposed for tests)."""
+    values = [entry.pivot.x if dimension == 0 else entry.pivot.y for entry in entries]
+    return statistics.median(values)

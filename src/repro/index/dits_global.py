@@ -1,0 +1,243 @@
+"""DITS-G: the global index held by the data center (Section V-B).
+
+Each data source builds its own DITS-L and ships only its *root summary*
+(MBR, pivot, radius, dataset count) to the data center, converted to
+geographic coordinates so that sources gridded at different resolutions can
+coexist.  The data center arranges these summaries into the same kind of
+binary tree as DITS-L (without leaf inverted indexes) and uses it to answer
+one question: *which sources could possibly contain results for this query?*
+
+Pruning rules (Section VI-A):
+
+* a source whose MBR does not intersect the query MBR cannot contribute to
+  OJSP results;
+* for CJSP, a source whose distance lower bound to the query exceeds the
+  connectivity threshold ``delta`` cannot contain directly connected
+  datasets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.errors import IndexNotBuiltError, InvalidParameterError, SourceNotFoundError
+from repro.core.geometry import BoundingBox, Point
+
+__all__ = ["SourceSummary", "DITSGlobalIndex"]
+
+DEFAULT_FANOUT = 4
+
+
+@dataclass(frozen=True, slots=True)
+class SourceSummary:
+    """A data source's root-node summary in geographic coordinates."""
+
+    source_id: str
+    rect: BoundingBox
+    dataset_count: int
+
+    @property
+    def pivot(self) -> Point:
+        """Centre of the source's MBR."""
+        return self.rect.center
+
+    @property
+    def radius(self) -> float:
+        """Half of the MBR diagonal."""
+        return self.rect.radius
+
+    def wire_payload(self) -> dict:
+        """Compact payload for communication accounting."""
+        return {
+            "source": self.source_id,
+            "rect": self.rect.as_tuple(),
+            "count": self.dataset_count,
+        }
+
+
+class _GlobalNode:
+    """Internal/leaf node of the global tree over source summaries."""
+
+    __slots__ = ("rect", "pivot", "radius", "children", "summaries")
+
+    def __init__(
+        self,
+        rect: BoundingBox,
+        children: list["_GlobalNode"] | None = None,
+        summaries: list[SourceSummary] | None = None,
+    ) -> None:
+        self.rect = rect
+        self.pivot = rect.center
+        self.radius = rect.radius
+        self.children = children or []
+        self.summaries = summaries or []
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class DITSGlobalIndex:
+    """The global index over registered data sources.
+
+    Parameters
+    ----------
+    leaf_capacity:
+        Maximum number of source summaries per leaf (the paper reuses the
+        local leaf capacity ``f``; the number of sources is small so the
+        default of 4 keeps the tree shallow but non-trivial).
+    """
+
+    def __init__(self, leaf_capacity: int = DEFAULT_FANOUT) -> None:
+        if leaf_capacity <= 0:
+            raise InvalidParameterError(f"leaf capacity must be positive, got {leaf_capacity}")
+        self.leaf_capacity = leaf_capacity
+        self._summaries: dict[str, SourceSummary] = {}
+        self._root: _GlobalNode | None = None
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register(self, summary: SourceSummary) -> None:
+        """Register or refresh a source's root summary and rebuild the tree.
+
+        Rebuilding is cheap because the tree has one entry per *source*
+        (a handful), not per dataset.
+        """
+        self._summaries[summary.source_id] = summary
+        self._rebuild()
+
+    def register_all(self, summaries: Iterable[SourceSummary]) -> None:
+        """Register several summaries at once."""
+        for summary in summaries:
+            self._summaries[summary.source_id] = summary
+        self._rebuild()
+
+    def unregister(self, source_id: str) -> None:
+        """Remove a source from the global index."""
+        if source_id not in self._summaries:
+            raise SourceNotFoundError(source_id)
+        del self._summaries[source_id]
+        self._rebuild()
+
+    def source_ids(self) -> list[str]:
+        """IDs of all registered sources, sorted."""
+        return sorted(self._summaries)
+
+    def summary_of(self, source_id: str) -> SourceSummary:
+        """The registered summary for ``source_id``."""
+        try:
+            return self._summaries[source_id]
+        except KeyError as exc:
+            raise SourceNotFoundError(source_id) from exc
+
+    def __len__(self) -> int:
+        return len(self._summaries)
+
+    def __contains__(self, source_id: str) -> bool:
+        return source_id in self._summaries
+
+    # ------------------------------------------------------------------ #
+    # Tree construction
+    # ------------------------------------------------------------------ #
+    def _rebuild(self) -> None:
+        summaries = list(self._summaries.values())
+        self._root = self._build(summaries) if summaries else None
+
+    def _build(self, summaries: list[SourceSummary]) -> _GlobalNode:
+        rect = BoundingBox.union_of(summary.rect for summary in summaries)
+        if len(summaries) <= self.leaf_capacity:
+            return _GlobalNode(rect, summaries=summaries)
+        split_dim = 0 if rect.width >= rect.height else 1
+        ordered = sorted(
+            summaries,
+            key=lambda s: (s.pivot.x if split_dim == 0 else s.pivot.y, s.source_id),
+        )
+        midpoint = len(ordered) // 2
+        left = self._build(ordered[:midpoint])
+        right = self._build(ordered[midpoint:])
+        return _GlobalNode(rect, children=[left, right])
+
+    @property
+    def root(self) -> _GlobalNode:
+        """Root of the global tree; raises if no source is registered."""
+        if self._root is None:
+            raise IndexNotBuiltError("no data sources registered with the global index")
+        return self._root
+
+    # ------------------------------------------------------------------ #
+    # Candidate-source selection (query distribution strategy 1)
+    # ------------------------------------------------------------------ #
+    def candidate_sources(
+        self,
+        query_rect: BoundingBox,
+        delta_geo: float = 0.0,
+    ) -> list[SourceSummary]:
+        """Sources whose region could contain OJSP/CJSP results for the query.
+
+        Parameters
+        ----------
+        query_rect:
+            MBR of the query in geographic coordinates.
+        delta_geo:
+            Connectivity threshold converted to geographic units.  ``0``
+            keeps only sources whose MBR intersects the query (the OJSP
+            rule); a positive value additionally keeps sources whose
+            pivot-distance lower bound to the query is within the threshold
+            (the CJSP rule).
+        """
+        if self._root is None:
+            return []
+        query_pivot = query_rect.center
+        query_radius = query_rect.radius
+        candidates: list[SourceSummary] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not _may_contain_results(node.rect, query_rect, query_pivot, query_radius, delta_geo):
+                continue
+            if node.is_leaf():
+                for summary in node.summaries:
+                    if _may_contain_results(
+                        summary.rect, query_rect, query_pivot, query_radius, delta_geo
+                    ):
+                        candidates.append(summary)
+            else:
+                stack.extend(node.children)
+        candidates.sort(key=lambda summary: summary.source_id)
+        return candidates
+
+    def all_summaries(self) -> Iterator[SourceSummary]:
+        """Iterate over every registered summary (used by broadcast baselines)."""
+        for source_id in sorted(self._summaries):
+            yield self._summaries[source_id]
+
+    def node_count(self) -> int:
+        """Number of nodes in the global tree."""
+        if self._root is None:
+            return 0
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children)
+        return count
+
+
+def _may_contain_results(
+    rect: BoundingBox,
+    query_rect: BoundingBox,
+    query_pivot: Point,
+    query_radius: float,
+    delta_geo: float,
+) -> bool:
+    """Pruning predicate of Section VI-A applied to one tree node / summary."""
+    if rect.intersects(query_rect):
+        return True
+    if delta_geo <= 0:
+        return False
+    pivot_distance = rect.center.distance_to(query_pivot)
+    lower_bound = max(pivot_distance - rect.radius - query_radius, 0.0)
+    return lower_bound <= delta_geo or math.isclose(lower_bound, delta_geo)

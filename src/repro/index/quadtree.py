@@ -1,0 +1,195 @@
+"""QuadTree baseline index (Gargantini 1982, as used in Section VII-B).
+
+The QuadTree indexes the *cells* of all datasets: every (cell, dataset)
+occurrence is inserted as a point item, and a quadrant is subdivided once it
+holds more than ``leaf_capacity`` items (the paper fixes the capacity to 4).
+OJSP over the QuadTree therefore works like an exploded inverted index — all
+cells intersecting the query region are visited and dataset occurrences are
+counted — which is exactly why the paper finds it slower and bigger than
+DITS-L: it stores ``N`` (total cell occurrences) items instead of ``n``
+(datasets).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.dataset import DatasetNode
+from repro.core.errors import InvalidParameterError
+from repro.core.geometry import BoundingBox, Point
+from repro.index.base import DatasetIndex
+from repro.utils.zorder import zorder_decode
+
+__all__ = ["QuadTreeIndex", "QuadTreeNode"]
+
+DEFAULT_QUAD_CAPACITY = 4
+_MAX_DEPTH = 32
+
+
+class QuadTreeNode:
+    """One quadrant of the quadtree, holding (cell, dataset) items or 4 children."""
+
+    __slots__ = ("rect", "items", "children", "depth", "capacity")
+
+    def __init__(self, rect: BoundingBox, capacity: int, depth: int = 0) -> None:
+        self.rect = rect
+        self.items: list[tuple[int, str, Point]] = []
+        self.children: list["QuadTreeNode"] | None = None
+        self.depth = depth
+        self.capacity = capacity
+
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+    # ------------------------------------------------------------------ #
+    # Insertion / removal
+    # ------------------------------------------------------------------ #
+    def insert(self, cell_id: int, dataset_id: str, position: Point) -> None:
+        """Insert one (cell, dataset) occurrence located at ``position``."""
+        if not self.is_leaf():
+            self._child_for(position).insert(cell_id, dataset_id, position)
+            return
+        self.items.append((cell_id, dataset_id, position))
+        if (
+            len(self.items) > self.capacity
+            and self.depth < _MAX_DEPTH
+            and self._has_distinct_positions()
+        ):
+            self._subdivide()
+
+    def _has_distinct_positions(self) -> bool:
+        """Whether subdividing can actually separate the stored items.
+
+        Many datasets sharing one grid cell collapse onto the same position;
+        subdividing such a leaf would only create chains of single-child
+        quadrants, so the leaf is allowed to overflow instead.
+        """
+        first = self.items[0][2]
+        return any(item[2] != first for item in self.items[1:])
+
+    def remove(self, cell_id: int, dataset_id: str, position: Point) -> bool:
+        """Remove one occurrence; returns whether something was removed."""
+        if not self.is_leaf():
+            return self._child_for(position).remove(cell_id, dataset_id, position)
+        for index, (item_cell, item_dataset, _) in enumerate(self.items):
+            if item_cell == cell_id and item_dataset == dataset_id:
+                self.items.pop(index)
+                return True
+        return False
+
+    def _subdivide(self) -> None:
+        mid_x = (self.rect.min_x + self.rect.max_x) / 2.0
+        mid_y = (self.rect.min_y + self.rect.max_y) / 2.0
+        rects = [
+            BoundingBox(self.rect.min_x, self.rect.min_y, mid_x, mid_y),
+            BoundingBox(mid_x, self.rect.min_y, self.rect.max_x, mid_y),
+            BoundingBox(self.rect.min_x, mid_y, mid_x, self.rect.max_y),
+            BoundingBox(mid_x, mid_y, self.rect.max_x, self.rect.max_y),
+        ]
+        self.children = [
+            QuadTreeNode(rect, self.capacity, self.depth + 1) for rect in rects
+        ]
+        items, self.items = self.items, []
+        for cell_id, dataset_id, position in items:
+            self._child_for(position).insert(cell_id, dataset_id, position)
+
+    def _child_for(self, position: Point) -> "QuadTreeNode":
+        assert self.children is not None
+        mid_x = (self.rect.min_x + self.rect.max_x) / 2.0
+        mid_y = (self.rect.min_y + self.rect.max_y) / 2.0
+        index = (1 if position.x >= mid_x else 0) + (2 if position.y >= mid_y else 0)
+        return self.children[index]
+
+    # ------------------------------------------------------------------ #
+    # Traversal
+    # ------------------------------------------------------------------ #
+    def query_region(self, region: BoundingBox) -> Iterator[tuple[int, str]]:
+        """Yield (cell, dataset) occurrences whose position falls inside ``region``."""
+        if not self.rect.intersects(region):
+            return
+        if self.is_leaf():
+            for cell_id, dataset_id, position in self.items:
+                if region.contains_point(position):
+                    yield cell_id, dataset_id
+            return
+        assert self.children is not None
+        for child in self.children:
+            yield from child.query_region(region)
+
+    def node_count(self) -> int:
+        """Total number of quadtree nodes in this subtree."""
+        if self.is_leaf():
+            return 1
+        assert self.children is not None
+        return 1 + sum(child.node_count() for child in self.children)
+
+
+class QuadTreeIndex(DatasetIndex):
+    """Dataset index backed by a point quadtree over cell occurrences."""
+
+    name = "QuadTree"
+
+    def __init__(self, capacity: int = DEFAULT_QUAD_CAPACITY) -> None:
+        super().__init__()
+        if capacity <= 0:
+            raise InvalidParameterError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._tree: QuadTreeNode | None = None
+        self._space: BoundingBox | None = None
+
+    # ------------------------------------------------------------------ #
+    # DatasetIndex hooks
+    # ------------------------------------------------------------------ #
+    def _rebuild(self) -> None:
+        if not self._nodes:
+            self._tree = None
+            self._space = None
+            return
+        self._space = BoundingBox.union_of(node.rect for node in self._nodes.values()).expanded(1.0)
+        self._tree = QuadTreeNode(self._space, self.capacity)
+        for node in self._nodes.values():
+            for cell in node.cells:
+                self._tree.insert(cell, node.dataset_id, _cell_position(cell))
+
+    def _insert_structure(self, node: DatasetNode) -> None:
+        if self._tree is None or self._space is None or not self._space.contains_box(node.rect):
+            self._rebuild()
+            return
+        for cell in node.cells:
+            self._tree.insert(cell, node.dataset_id, _cell_position(cell))
+
+    def _delete_structure(self, node: DatasetNode) -> None:
+        if self._tree is None:
+            return
+        for cell in node.cells:
+            self._tree.remove(cell, node.dataset_id, _cell_position(cell))
+
+    # ------------------------------------------------------------------ #
+    # Query helpers used by the OJSP baseline
+    # ------------------------------------------------------------------ #
+    def occurrences_in(self, region: BoundingBox) -> Iterator[tuple[int, str]]:
+        """All (cell, dataset) occurrences located inside ``region``."""
+        if self._tree is None:
+            return iter(())
+        return self._tree.query_region(region)
+
+    def node_count(self) -> int:
+        """Number of quadtree nodes (for the memory comparison of Fig. 8)."""
+        return self._tree.node_count() if self._tree is not None else 0
+
+    def total_occurrences(self) -> int:
+        """Total number of stored (cell, dataset) items."""
+        return sum(len(node.cells) for node in self._nodes.values())
+
+
+def _cell_position(cell_id: int) -> Point:
+    """Representative position of a cell in grid coordinates (its corner)."""
+    col, row = zorder_decode(cell_id)
+    return Point(float(col), float(row))
+
+
+def build_quadtree(nodes: Iterable[DatasetNode], capacity: int = DEFAULT_QUAD_CAPACITY) -> QuadTreeIndex:
+    """Convenience constructor used by benchmarks."""
+    index = QuadTreeIndex(capacity=capacity)
+    index.build(nodes)
+    return index

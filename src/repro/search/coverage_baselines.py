@@ -1,0 +1,148 @@
+"""CJSP baseline algorithms: standard greedy with and without DITS.
+
+Section VII-D compares CoverageSearch against two baselines:
+
+* **SG (StandardGreedy)** — the textbook greedy algorithm for maximum
+  coverage, extended with the connectivity constraint: every iteration scans
+  *all* datasets in the source, keeps those directly connected to any member
+  of the current result set (query included), and adds the one with the
+  largest marginal gain.  Connectivity checks use exact cell-set distances,
+  so each round costs ``O(|R| * n)`` distance computations.
+* **SG+DITS (StandardGreedyWithDITS)** — the same greedy loop, but each
+  round's connected-candidate discovery runs ``FindConnectSet`` once per
+  result-set member over DITS-L, exploiting the Lemma 4 bounds.  It lacks
+  CoverageSearch's spatial-merge trick, so the number of tree searches grows
+  with the result size.
+"""
+
+from __future__ import annotations
+
+from repro.core.dataset import DatasetNode
+from repro.core.distance import exact_node_distance
+from repro.core.errors import InvalidParameterError
+from repro.core.problems import CoverageQuery, CoverageResult, ScoredDataset
+from repro.index.dits import DITSLocalIndex
+from repro.search.coverage import find_connected_nodes
+
+__all__ = ["StandardGreedy", "StandardGreedyWithDITS"]
+
+
+class StandardGreedy:
+    """SG: greedy CJSP with exhaustive per-round connectivity scans."""
+
+    name = "SG"
+
+    def __init__(self, nodes: list[DatasetNode]) -> None:
+        self._nodes = list(nodes)
+
+    def search(self, request: CoverageQuery) -> CoverageResult:
+        """Run greedy CJSP for ``request``."""
+        return self.search_node(request.query, request.k, request.delta)
+
+    def search_node(self, query: DatasetNode, k: int, delta: float) -> CoverageResult:
+        """Run greedy CJSP for ``query`` with parameters ``k`` and ``delta``."""
+        if k <= 0:
+            raise InvalidParameterError(f"k must be positive, got {k}")
+        result_nodes: list[DatasetNode] = [query]
+        chosen_ids: set[str] = set()
+        covered: set[int] = set(query.cells)
+        entries: list[ScoredDataset] = []
+
+        for _ in range(k):
+            best_node: DatasetNode | None = None
+            best_gain = 0
+            for candidate in self._nodes:
+                if candidate.dataset_id in chosen_ids:
+                    continue
+                if not self._connected_to_result(candidate, result_nodes, delta):
+                    continue
+                gain = len(candidate.cells - covered)
+                if gain > best_gain or (
+                    gain == best_gain
+                    and gain > 0
+                    and best_node is not None
+                    and candidate.dataset_id < best_node.dataset_id
+                ):
+                    best_gain = gain
+                    best_node = candidate
+            if best_node is None or best_gain == 0:
+                break
+            chosen_ids.add(best_node.dataset_id)
+            covered |= best_node.cells
+            result_nodes.append(best_node)
+            entries.append(
+                ScoredDataset(dataset_id=best_node.dataset_id, score=float(best_gain))
+            )
+
+        return CoverageResult(
+            entries=tuple(entries),
+            total_coverage=len(covered),
+            query_coverage=len(query.cells),
+        )
+
+    @staticmethod
+    def _connected_to_result(
+        candidate: DatasetNode, result_nodes: list[DatasetNode], delta: float
+    ) -> bool:
+        """Exact connectivity test of the candidate against every result member."""
+        return any(
+            exact_node_distance(candidate, member) <= delta for member in result_nodes
+        )
+
+
+class StandardGreedyWithDITS:
+    """SG+DITS: greedy CJSP using DITS-L to find connected candidates per member."""
+
+    name = "SG+DITS"
+
+    def __init__(self, index: DITSLocalIndex) -> None:
+        self._index = index
+
+    def search(self, request: CoverageQuery) -> CoverageResult:
+        """Run greedy CJSP for ``request``."""
+        return self.search_node(request.query, request.k, request.delta)
+
+    def search_node(self, query: DatasetNode, k: int, delta: float) -> CoverageResult:
+        """Run greedy CJSP for ``query`` with parameters ``k`` and ``delta``."""
+        if k <= 0:
+            raise InvalidParameterError(f"k must be positive, got {k}")
+        if not self._index.is_built() or len(self._index) == 0:
+            return CoverageResult(
+                entries=(), total_coverage=len(query.cells), query_coverage=len(query.cells)
+            )
+        result_nodes: list[DatasetNode] = [query]
+        chosen_ids: set[str] = set()
+        covered: set[int] = set(query.cells)
+        entries: list[ScoredDataset] = []
+
+        for _ in range(k):
+            # One FindConnectSet per member of the current result set (no
+            # spatial merge); candidates are deduplicated by dataset ID.
+            candidates: dict[str, DatasetNode] = {}
+            for member in result_nodes:
+                for candidate in find_connected_nodes(
+                    self._index.root, member, delta, exclude=chosen_ids
+                ):
+                    candidates[candidate.dataset_id] = candidate
+            best_node: DatasetNode | None = None
+            best_gain = 0
+            for dataset_id in sorted(candidates):
+                candidate = candidates[dataset_id]
+                gain = len(candidate.cells - covered)
+                if gain > best_gain:
+                    best_gain = gain
+                    best_node = candidate
+            if best_node is None or best_gain == 0:
+                break
+            chosen_ids.add(best_node.dataset_id)
+            covered |= best_node.cells
+            result_nodes.append(best_node)
+            entries.append(
+                ScoredDataset(dataset_id=best_node.dataset_id, score=float(best_gain))
+            )
+
+        return CoverageResult(
+            entries=tuple(entries),
+            total_coverage=len(covered),
+            query_coverage=len(query.cells),
+        )

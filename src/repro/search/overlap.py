@@ -1,0 +1,198 @@
+"""OverlapSearch: the exact OJSP algorithm over DITS-L (Algorithm 2).
+
+The algorithm has a filter phase and a verification phase:
+
+1. **Filter (BranchAndBound)** — recurse down the DITS-L tree, pruning every
+   subtree whose MBR does not intersect the query MBR (datasets with disjoint
+   MBRs cannot share a cell).  For each surviving leaf, compute the Lemma 2/3
+   lower and upper intersection bounds from the leaf's inverted index; a leaf
+   whose upper bound cannot beat the lower bounds of ``k`` already-collected
+   leaves is discarded in batch.
+
+2. **Verify** — for each candidate leaf, compute exact intersections of its
+   datasets with the query by scanning the leaf's posting lists (each shared
+   query cell contributes one count per posted dataset), then maintain a
+   bounded top-``k`` result queue.
+
+The result is exact: only datasets that provably cannot reach the top-``k``
+are pruned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.dataset import DatasetNode
+from repro.core.problems import OverlapQuery, OverlapResult
+from repro.index.dits import DITSLocalIndex, InternalNode, LeafNode
+from repro.search.bounds import leaf_intersection_bounds
+from repro.utils.heaps import BoundedTopK
+
+__all__ = ["OverlapSearch", "OverlapSearchStats"]
+
+
+@dataclass(slots=True)
+class OverlapSearchStats:
+    """Counters describing how much work one overlap search performed."""
+
+    visited_internal: int = 0
+    visited_leaves: int = 0
+    pruned_by_mbr: int = 0
+    pruned_by_bounds: int = 0
+    candidate_leaves: int = 0
+    verified_datasets: int = 0
+    candidate_leaf_ids: list[int] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class _CandidateLeaf:
+    """A leaf that survived filtering, together with its bounds."""
+
+    leaf: LeafNode
+    lower: int
+    upper: int
+
+
+class OverlapSearch:
+    """Exact top-k overlap joinable search over a :class:`DITSLocalIndex`."""
+
+    name = "OverlapSearch"
+
+    def __init__(self, index: DITSLocalIndex) -> None:
+        self._index = index
+        self.last_stats = OverlapSearchStats()
+
+    @property
+    def index(self) -> DITSLocalIndex:
+        """The DITS-L index this search runs against."""
+        return self._index
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def search(self, request: OverlapQuery) -> OverlapResult:
+        """Run OJSP for ``request`` and return the top-k result."""
+        return self.search_node(request.query, request.k)
+
+    def search_node(self, query: DatasetNode, k: int) -> OverlapResult:
+        """Run OJSP for ``query`` with result size ``k``."""
+        stats = OverlapSearchStats()
+        self.last_stats = stats
+        if not self._index.is_built() or len(self._index) == 0:
+            return OverlapResult(entries=())
+
+        candidates = self._filter_leaves(query, k, stats)
+        results = self._verify(query, k, candidates, stats)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Phase 1: branch-and-bound filtering
+    # ------------------------------------------------------------------ #
+    def _filter_leaves(
+        self, query: DatasetNode, k: int, stats: OverlapSearchStats
+    ) -> list[_CandidateLeaf]:
+        query_rect = query.rect
+        query_cells = query.cells
+        candidates: list[_CandidateLeaf] = []
+
+        stack = [self._index.root]
+        while stack:
+            node = stack.pop()
+            if not node.rect.intersects(query_rect):
+                stats.pruned_by_mbr += 1
+                continue
+            if node.is_leaf():
+                assert isinstance(node, LeafNode)
+                stats.visited_leaves += 1
+                lower, upper = leaf_intersection_bounds(node, query_cells)
+                if upper == 0:
+                    stats.pruned_by_bounds += 1
+                    continue
+                candidates.append(_CandidateLeaf(leaf=node, lower=lower, upper=upper))
+            else:
+                assert isinstance(node, InternalNode)
+                stats.visited_internal += 1
+                stack.append(node.left)
+                stack.append(node.right)
+
+        # Batch pruning: keep candidate leaves whose upper bound can still
+        # beat the k-th best lower bound achievable from other leaves.  Each
+        # leaf can contribute up to ``len(leaf.entries)`` results with
+        # overlap at least ``lower``.
+        threshold = _kth_lower_bound(candidates, k)
+        surviving = []
+        for candidate in candidates:
+            if candidate.upper < threshold:
+                stats.pruned_by_bounds += 1
+                continue
+            surviving.append(candidate)
+        surviving.sort(key=lambda c: -c.upper)
+        stats.candidate_leaves = len(surviving)
+        stats.candidate_leaf_ids = [id(c.leaf) for c in surviving]
+        return surviving
+
+    # ------------------------------------------------------------------ #
+    # Phase 2: verification via leaf posting lists
+    # ------------------------------------------------------------------ #
+    def _verify(
+        self,
+        query: DatasetNode,
+        k: int,
+        candidates: list[_CandidateLeaf],
+        stats: OverlapSearchStats,
+    ) -> OverlapResult:
+        heap: BoundedTopK[str] = BoundedTopK(k)
+        query_cells = query.cells
+        for candidate in candidates:
+            # Candidates are ordered by decreasing upper bound, so once the
+            # current leaf's upper bound cannot beat the established k-th
+            # overlap, no later leaf can either.
+            if heap.is_full() and candidate.upper < heap.kth_score():
+                stats.pruned_by_bounds += 1
+                break
+            overlaps = self._leaf_overlaps(candidate.leaf, query_cells)
+            stats.verified_datasets += len(candidate.leaf.entries)
+            for dataset_id, overlap in overlaps.items():
+                heap.push(float(overlap), dataset_id)
+            # Datasets in the leaf that share no cell still count as overlap
+            # zero candidates when fewer than k positive matches exist; they
+            # are only added while the heap is not full, mirroring lines 6-7
+            # of Algorithm 2.
+            if not heap.is_full():
+                for entry in candidate.leaf.entries:
+                    if entry.dataset_id not in overlaps:
+                        heap.push(0.0, entry.dataset_id)
+                        if heap.is_full():
+                            break
+        return OverlapResult.from_pairs((dataset_id, score) for score, dataset_id in heap.items())
+
+    @staticmethod
+    def _leaf_overlaps(leaf: LeafNode, query_cells: frozenset[int]) -> dict[str, int]:
+        """Exact per-dataset intersection counts computed from the posting lists.
+
+        One C-level set intersection finds the cells the query shares with the
+        leaf; only those cells' posting lists are scanned.
+        """
+        counts: dict[str, int] = {}
+        inverted = leaf.inverted
+        for cell in query_cells & inverted.keys():
+            for dataset_id in inverted[cell]:
+                counts[dataset_id] = counts.get(dataset_id, 0) + 1
+        return counts
+
+
+def _kth_lower_bound(candidates: list[_CandidateLeaf], k: int) -> int:
+    """The k-th largest lower bound achievable across candidate leaves.
+
+    Every candidate leaf guarantees ``len(leaf.entries)`` datasets with
+    overlap at least ``leaf.lower``; collecting those guarantees and taking
+    the k-th largest yields a threshold below which a leaf's *upper* bound
+    proves it cannot contribute to the final top-k.
+    """
+    guaranteed: list[int] = []
+    for candidate in candidates:
+        guaranteed.extend([candidate.lower] * len(candidate.leaf.entries))
+    if len(guaranteed) < k:
+        return 0
+    guaranteed.sort(reverse=True)
+    return guaranteed[k - 1]

@@ -1,0 +1,76 @@
+"""Z-order (Morton) curve encoding of 2-D grid coordinates.
+
+The paper (Definition 4) identifies every grid cell by a single non-negative
+integer obtained by interleaving the binary representations of its column and
+row coordinates.  The interleaving gives consecutive IDs in the range
+``[0, 2**theta * 2**theta - 1]`` and keeps spatially close cells numerically
+close, which is what makes posting lists and prefix filters effective.
+
+Only two operations are needed by the rest of the library:
+
+``zorder_encode(x, y)``
+    interleave two coordinates into a Morton code.
+
+``zorder_decode(code)``
+    split a Morton code back into ``(x, y)``.
+
+Both are exact inverses of each other for coordinates up to 32 bits, which is
+far beyond the resolutions used in the paper (theta <= 14).
+"""
+
+from __future__ import annotations
+
+__all__ = ["zorder_encode", "zorder_decode", "interleave_bits", "deinterleave_bits"]
+
+# Magic-number bit spreading for 32-bit coordinates (classic Morton tables).
+_MASKS_SPREAD = (
+    0x0000_0000_FFFF_FFFF,
+    0x0000_FFFF_0000_FFFF,
+    0x00FF_00FF_00FF_00FF,
+    0x0F0F_0F0F_0F0F_0F0F,
+    0x3333_3333_3333_3333,
+    0x5555_5555_5555_5555,
+)
+_SHIFTS = (32, 16, 8, 4, 2, 1)
+
+
+def interleave_bits(value: int) -> int:
+    """Spread the bits of ``value`` so they occupy the even bit positions.
+
+    ``0b1011`` becomes ``0b1000101``.  Values must fit in 32 bits.
+    """
+    if value < 0:
+        raise ValueError(f"coordinate must be non-negative, got {value}")
+    if value >= 1 << 32:
+        raise ValueError(f"coordinate must fit in 32 bits, got {value}")
+    result = value & _MASKS_SPREAD[0]
+    for shift, mask in zip(_SHIFTS[1:], _MASKS_SPREAD[1:]):
+        result = (result | (result << shift)) & mask
+    return result
+
+
+def deinterleave_bits(value: int) -> int:
+    """Inverse of :func:`interleave_bits`: collect the even bit positions."""
+    if value < 0:
+        raise ValueError(f"code must be non-negative, got {value}")
+    result = value & _MASKS_SPREAD[-1]
+    for shift, mask in zip(reversed(_SHIFTS[1:]), reversed(_MASKS_SPREAD[:-1])):
+        result = (result | (result >> shift)) & mask
+    return result
+
+
+def zorder_encode(x: int, y: int) -> int:
+    """Encode grid coordinates ``(x, y)`` into a single Morton code.
+
+    The x coordinate occupies the even bits and the y coordinate the odd
+    bits, matching the paper's Fig. 2 where the bottom-left cell (0, 0) has
+    ID 0 and cell (1, 0) has ID 1.
+    """
+    return interleave_bits(x) | (interleave_bits(y) << 1)
+
+
+def zorder_decode(code: int) -> tuple[int, int]:
+    """Decode a Morton code back into its ``(x, y)`` grid coordinates."""
+    if code < 0:
+        raise ValueError(f"code must be non-negative, got {code}")
+    return deinterleave_bits(code), deinterleave_bits(code >> 1)

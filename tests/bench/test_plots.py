@@ -1,0 +1,73 @@
+"""Tests for the ASCII chart rendering helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.plots import ascii_line_chart, series_from_rows
+
+
+class TestSeriesFromRows:
+    ROWS = [
+        {"k": 10, "method": "A", "time_ms": 5.0},
+        {"k": 20, "method": "A", "time_ms": 7.0},
+        {"k": 20, "method": "B", "time_ms": 3.0},
+        {"k": 10, "method": "B", "time_ms": 2.0},
+    ]
+
+    def test_groups_and_sorts_by_x(self):
+        series = series_from_rows(self.ROWS, x_key="k", y_key="time_ms", label_key="method")
+        assert set(series) == {"A", "B"}
+        assert series["B"] == [(10.0, 2.0), (20.0, 3.0)]
+
+    def test_empty_rows(self):
+        assert series_from_rows([], "k", "time_ms", "method") == {}
+
+
+class TestAsciiLineChart:
+    def test_contains_markers_title_and_legend(self):
+        chart = ascii_line_chart(
+            {"alpha": [(1, 1.0), (2, 4.0), (3, 9.0)], "beta": [(1, 2.0), (3, 2.0)]},
+            title="demo chart",
+            x_label="k",
+        )
+        assert "demo chart" in chart
+        assert "o alpha" in chart and "x beta" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_log_scale_requires_positive_values(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({"a": [(0, 0.0), (1, 5.0)]}, logy=True)
+
+    def test_log_scale_renders(self):
+        chart = ascii_line_chart({"a": [(1, 1.0), (2, 10.0), (3, 1000.0)]}, logy=True)
+        assert "1e+03" in chart or "1000" in chart
+
+    def test_empty_series(self):
+        assert ascii_line_chart({}) == "(no data)"
+        assert ascii_line_chart({"a": []}) == "(no data)"
+
+    def test_too_small_area_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({"a": [(1, 1.0)]}, width=5, height=2)
+
+    def test_single_point_chart(self):
+        chart = ascii_line_chart({"only": [(5, 42.0)]})
+        assert "o" in chart
+        assert "42" in chart
+
+    def test_dimensions_respected(self):
+        chart = ascii_line_chart({"a": [(0, 0.0), (10, 10.0)]}, width=30, height=8)
+        plot_lines = [line for line in chart.splitlines() if "│" in line or "┤" in line]
+        assert len(plot_lines) == 8
+
+    def test_roundtrip_with_rows(self):
+        rows = [
+            {"q": 10, "method": "OverlapSearch", "time_ms": 2.0},
+            {"q": 20, "method": "OverlapSearch", "time_ms": 3.5},
+            {"q": 10, "method": "STS3", "time_ms": 8.0},
+            {"q": 20, "method": "STS3", "time_ms": 16.0},
+        ]
+        series = series_from_rows(rows, "q", "time_ms", "method")
+        chart = ascii_line_chart(series, title="Fig. 11 style", x_label="q", logy=True)
+        assert "OverlapSearch" in chart and "STS3" in chart

@@ -1,0 +1,77 @@
+"""Shared fixtures for the test suite.
+
+The fixtures build small deterministic corpora of dataset nodes so individual
+tests stay fast while still exercising non-trivial tree structures (multiple
+leaves, several levels of internal nodes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import DatasetNode, SpatialDataset
+from repro.core.geometry import BoundingBox
+from repro.core.grid import Grid
+from repro.data.generators import (
+    generate_cluster_dataset,
+    generate_route_dataset,
+    generate_uniform_dataset,
+)
+from repro.index.dits import DITSLocalIndex
+
+#: A compact region used by most fixtures (roughly the D.C. area).
+TEST_REGION = BoundingBox(-77.5, 38.5, -76.5, 39.5)
+
+
+@pytest.fixture(scope="session")
+def grid() -> Grid:
+    """A resolution-12 grid over the whole world."""
+    return Grid(theta=12)
+
+
+@pytest.fixture(scope="session")
+def fine_grid() -> Grid:
+    """A resolution-14 grid for tests that need small cells."""
+    return Grid(theta=14)
+
+
+@pytest.fixture(scope="session")
+def corpus_datasets() -> list[SpatialDataset]:
+    """60 mixed synthetic datasets inside the test region (deterministic)."""
+    rng = np.random.default_rng(42)
+    datasets: list[SpatialDataset] = []
+    for i in range(60):
+        kind = i % 3
+        if kind == 0:
+            datasets.append(generate_route_dataset(f"route-{i}", TEST_REGION, rng, length=120))
+        elif kind == 1:
+            datasets.append(generate_cluster_dataset(f"cluster-{i}", TEST_REGION, rng, size=120))
+        else:
+            datasets.append(generate_uniform_dataset(f"uniform-{i}", TEST_REGION, rng, size=80))
+    return datasets
+
+
+@pytest.fixture(scope="session")
+def corpus_nodes(corpus_datasets, fine_grid) -> list[DatasetNode]:
+    """The corpus gridded at resolution 14 (dozens to hundreds of cells each)."""
+    return [dataset.to_node(fine_grid) for dataset in corpus_datasets]
+
+
+@pytest.fixture()
+def dits_index(corpus_nodes) -> DITSLocalIndex:
+    """A freshly built DITS-L index over the corpus (leaf capacity 8)."""
+    index = DITSLocalIndex(leaf_capacity=8)
+    index.build(corpus_nodes)
+    return index
+
+
+@pytest.fixture(scope="session")
+def query_node(corpus_nodes) -> DatasetNode:
+    """A query: the first corpus dataset."""
+    return corpus_nodes[0]
+
+
+def make_node(dataset_id: str, cells: set[int], grid: Grid) -> DatasetNode:
+    """Helper used across test modules to build a node from explicit cells."""
+    return DatasetNode.from_cells(dataset_id, cells, grid)

@@ -1,0 +1,154 @@
+"""Tests for spatial datasets, cell sets and dataset nodes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.dataset import CellSet, DatasetNode, SpatialDataset
+from repro.core.errors import EmptyDatasetError
+from repro.core.geometry import BoundingBox, Point
+from repro.core.grid import Grid
+
+GRID = Grid(theta=6, space=BoundingBox(0, 0, 64, 64))
+
+
+class TestSpatialDataset:
+    def test_from_coordinates(self):
+        dataset = SpatialDataset.from_coordinates("d", [(1, 2), (3, 4)])
+        assert len(dataset) == 2
+        assert dataset.points[0] == Point(1.0, 2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            SpatialDataset(dataset_id="d", points=())
+
+    def test_bounding_box(self):
+        dataset = SpatialDataset.from_coordinates("d", [(1, 5), (4, 2)])
+        assert dataset.bounding_box.as_tuple() == (1, 2, 4, 5)
+
+    def test_iteration(self):
+        dataset = SpatialDataset.from_coordinates("d", [(0, 0), (1, 1)])
+        assert [p.as_tuple() for p in dataset] == [(0.0, 0.0), (1.0, 1.0)]
+
+    def test_to_cell_set(self):
+        dataset = SpatialDataset.from_coordinates("d", [(0.5, 0.5), (0.6, 0.6), (10.5, 0.5)])
+        cell_set = dataset.to_cell_set(GRID)
+        assert cell_set.dataset_id == "d"
+        assert len(cell_set) == 2
+
+    def test_to_node_matches_cell_set(self):
+        dataset = SpatialDataset.from_coordinates("d", [(0.5, 0.5), (10.5, 20.5)])
+        node = dataset.to_node(GRID)
+        assert node.cells == dataset.to_cell_set(GRID).cells
+        assert node.point_count == 2
+
+
+class TestCellSet:
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            CellSet(dataset_id="d", cells=frozenset())
+
+    def test_membership_and_length(self):
+        cell_set = CellSet(dataset_id="d", cells=frozenset({1, 2, 3}))
+        assert 2 in cell_set
+        assert 9 not in cell_set
+        assert len(cell_set) == 3
+        assert cell_set.coverage == 3
+
+    def test_overlap_with(self):
+        a = CellSet(dataset_id="a", cells=frozenset({1, 2, 3}))
+        b = CellSet(dataset_id="b", cells=frozenset({2, 3, 4}))
+        assert a.overlap_with(b) == 2
+        assert a.overlap_with({5, 6}) == 0
+
+    def test_union_with(self):
+        a = CellSet(dataset_id="a", cells=frozenset({1, 2}))
+        assert a.union_with({2, 3}) == frozenset({1, 2, 3})
+
+    def test_clipped_to(self):
+        a = CellSet(dataset_id="a", cells=frozenset({1, 2, 3}))
+        clipped = a.clipped_to({2, 3, 9})
+        assert clipped is not None
+        assert clipped.cells == frozenset({2, 3})
+
+    def test_clipped_to_nothing_returns_none(self):
+        a = CellSet(dataset_id="a", cells=frozenset({1, 2}))
+        assert a.clipped_to({7, 8}) is None
+
+
+class TestDatasetNode:
+    def test_from_cells_builds_mbr_in_grid_coordinates(self):
+        cells = {GRID.cell_id_from_coords(1, 1), GRID.cell_id_from_coords(4, 3)}
+        node = DatasetNode.from_cells("d", cells, GRID)
+        assert node.rect.as_tuple() == (1, 1, 4, 3)
+        assert node.pivot == Point(2.5, 2.0)
+        assert node.radius == pytest.approx(node.rect.radius)
+
+    def test_empty_cells_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            DatasetNode.from_cells("d", set(), GRID)
+
+    def test_from_dataset(self):
+        dataset = SpatialDataset.from_coordinates("d", [(0.5, 0.5), (10.5, 20.5)])
+        node = DatasetNode.from_dataset(dataset, GRID)
+        assert node.dataset_id == "d"
+        assert node.point_count == 2
+        assert node.coverage == 2
+
+    def test_overlap_with(self):
+        node_a = DatasetNode.from_cells("a", {1, 2, 3}, GRID)
+        node_b = DatasetNode.from_cells("b", {3, 4}, GRID)
+        assert node_a.overlap_with(node_b) == 1
+        assert node_a.overlap_with({1, 9}) == 1
+
+    def test_as_cell_set(self):
+        node = DatasetNode.from_cells("a", {1, 2}, GRID)
+        assert node.as_cell_set().cells == frozenset({1, 2})
+
+    def test_wire_payload_is_serialisable(self):
+        node = DatasetNode.from_cells("a", {3, 1, 2}, GRID)
+        payload = node.wire_payload()
+        assert payload["id"] == "a"
+        assert payload["cells"] == [1, 2, 3]
+        assert len(payload["rect"]) == 4
+
+    def test_merged_with_unions_everything(self):
+        node_a = DatasetNode.from_cells("a", {GRID.cell_id_from_coords(0, 0)}, GRID)
+        node_b = DatasetNode.from_cells("b", {GRID.cell_id_from_coords(5, 5)}, GRID)
+        merged = node_a.merged_with(node_b, merged_id="m")
+        assert merged.dataset_id == "m"
+        assert merged.cells == node_a.cells | node_b.cells
+        assert merged.rect.contains_box(node_a.rect)
+        assert merged.rect.contains_box(node_b.rect)
+
+    def test_from_cell_set_constructor(self):
+        cell_set = CellSet(dataset_id="cs", cells=frozenset({5, 6}))
+        node = DatasetNode.from_cell_set(cell_set, GRID)
+        assert node.dataset_id == "cs"
+        assert node.cells == cell_set.cells
+
+
+class TestDatasetNodeProperties:
+    cells_strategy = st.sets(
+        st.integers(min_value=0, max_value=GRID.total_cells - 1), min_size=1, max_size=40
+    )
+
+    @given(cells_strategy)
+    def test_coverage_equals_cell_count(self, cells):
+        node = DatasetNode.from_cells("d", cells, GRID)
+        assert node.coverage == len(cells)
+
+    @given(cells_strategy, cells_strategy)
+    def test_overlap_symmetry(self, cells_a, cells_b):
+        node_a = DatasetNode.from_cells("a", cells_a, GRID)
+        node_b = DatasetNode.from_cells("b", cells_b, GRID)
+        assert node_a.overlap_with(node_b) == node_b.overlap_with(node_a)
+
+    @given(cells_strategy, cells_strategy)
+    def test_merge_coverage_is_union_size(self, cells_a, cells_b):
+        node_a = DatasetNode.from_cells("a", cells_a, GRID)
+        node_b = DatasetNode.from_cells("b", cells_b, GRID)
+        merged = node_a.merged_with(node_b)
+        assert merged.coverage == len(set(cells_a) | set(cells_b))

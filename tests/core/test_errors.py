@@ -1,0 +1,44 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import (
+    DatasetNotFoundError,
+    EmptyDatasetError,
+    IndexNotBuiltError,
+    InvalidParameterError,
+    ReproError,
+    SourceNotFoundError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_class",
+        [
+            InvalidParameterError,
+            EmptyDatasetError,
+            DatasetNotFoundError,
+            IndexNotBuiltError,
+            SourceNotFoundError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception_class):
+        assert issubclass(exception_class, ReproError)
+
+    def test_value_error_compatibility(self):
+        assert issubclass(InvalidParameterError, ValueError)
+        assert issubclass(EmptyDatasetError, ValueError)
+
+    def test_key_error_compatibility(self):
+        assert issubclass(DatasetNotFoundError, KeyError)
+        assert issubclass(SourceNotFoundError, KeyError)
+
+    def test_runtime_error_compatibility(self):
+        assert issubclass(IndexNotBuiltError, RuntimeError)
+
+    def test_catching_base_class(self):
+        with pytest.raises(ReproError):
+            raise DatasetNotFoundError("missing")

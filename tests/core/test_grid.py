@@ -1,0 +1,165 @@
+"""Tests for the grid partition and cell encoding."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidParameterError
+from repro.core.geometry import BoundingBox, Point
+from repro.core.grid import WORLD_SPACE, Grid
+
+
+class TestGridConstruction:
+    def test_invalid_theta_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Grid(theta=0)
+        with pytest.raises(InvalidParameterError):
+            Grid(theta=25)
+
+    def test_degenerate_space_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Grid(theta=4, space=BoundingBox(0, 0, 0, 1))
+
+    def test_counts(self):
+        grid = Grid(theta=3)
+        assert grid.cells_per_side == 8
+        assert grid.total_cells == 64
+
+    def test_cell_dimensions(self):
+        grid = Grid(theta=2, space=BoundingBox(0, 0, 8, 4))
+        assert grid.cell_width == 2.0
+        assert grid.cell_height == 1.0
+
+
+class TestPointMapping:
+    def test_bottom_left_is_cell_zero(self):
+        grid = Grid(theta=2, space=BoundingBox(0, 0, 4, 4))
+        assert grid.cell_id_of(Point(0.1, 0.1)) == 0
+
+    def test_paper_example_cells(self):
+        # Fig. 2: theta=2 over a square space; cell (1, 0) -> id 1, (0, 1) -> 2.
+        grid = Grid(theta=2, space=BoundingBox(0, 0, 4, 4))
+        assert grid.cell_id_of(Point(1.5, 0.5)) == 1
+        assert grid.cell_id_of(Point(0.5, 1.5)) == 2
+        assert grid.cell_id_of(Point(3.5, 3.5)) == grid.total_cells - 1
+
+    def test_out_of_space_points_clamped(self):
+        grid = Grid(theta=2, space=BoundingBox(0, 0, 4, 4))
+        assert grid.cell_id_of(Point(-10, -10)) == 0
+        assert grid.cell_id_of(Point(100, 100)) == grid.total_cells - 1
+
+    def test_cell_ids_of_deduplicates(self):
+        grid = Grid(theta=2, space=BoundingBox(0, 0, 4, 4))
+        cells = grid.cell_ids_of([Point(0.1, 0.1), Point(0.2, 0.2), Point(3.9, 3.9)])
+        assert len(cells) == 2
+
+    def test_accepts_raw_sequences(self):
+        grid = Grid(theta=4)
+        assert grid.cell_id_of((0.0, 0.0)) == grid.cell_id_of(Point(0.0, 0.0))
+
+
+class TestCellGeometry:
+    def test_center_round_trips(self):
+        grid = Grid(theta=6)
+        for cell in [0, 17, 321, grid.total_cells - 1]:
+            assert grid.cell_id_of(grid.cell_center(cell)) == cell
+
+    def test_cell_box_contains_center(self):
+        grid = Grid(theta=5)
+        for cell in [0, 3, 100]:
+            assert grid.cell_box(cell).contains_point(grid.cell_center(cell))
+
+    def test_invalid_cell_rejected(self):
+        grid = Grid(theta=2)
+        with pytest.raises(InvalidParameterError):
+            grid.coords_of_cell(grid.total_cells)
+        with pytest.raises(InvalidParameterError):
+            grid.coords_of_cell(-1)
+
+    def test_cell_id_from_coords_bounds(self):
+        grid = Grid(theta=2)
+        with pytest.raises(InvalidParameterError):
+            grid.cell_id_from_coords(4, 0)
+
+    def test_cell_grid_distance(self):
+        grid = Grid(theta=3)
+        origin = grid.cell_id_from_coords(0, 0)
+        right = grid.cell_id_from_coords(1, 0)
+        diagonal = grid.cell_id_from_coords(1, 1)
+        assert grid.cell_grid_distance(origin, right) == pytest.approx(1.0)
+        assert grid.cell_grid_distance(origin, diagonal) == pytest.approx(math.sqrt(2))
+
+
+class TestRegionQueries:
+    def test_cells_in_box_counts(self):
+        grid = Grid(theta=3, space=BoundingBox(0, 0, 8, 8))
+        cells = grid.cells_in_box(BoundingBox(0.5, 0.5, 2.5, 1.5))
+        assert len(cells) == 3 * 2
+
+    def test_cells_in_box_outside_space(self):
+        grid = Grid(theta=3, space=BoundingBox(0, 0, 8, 8))
+        assert grid.cells_in_box(BoundingBox(20, 20, 30, 30)) == []
+
+    def test_neighbours_interior(self):
+        grid = Grid(theta=3)
+        cell = grid.cell_id_from_coords(3, 3)
+        assert len(grid.neighbours_of(cell)) == 8
+
+    def test_neighbours_corner(self):
+        grid = Grid(theta=3)
+        cell = grid.cell_id_from_coords(0, 0)
+        assert len(grid.neighbours_of(cell)) == 3
+
+    def test_neighbours_invalid_radius(self):
+        grid = Grid(theta=3)
+        with pytest.raises(InvalidParameterError):
+            grid.neighbours_of(0, radius=-1)
+
+
+class TestRescaling:
+    def test_rescale_between_resolutions(self):
+        coarse = Grid(theta=4)
+        fine = Grid(theta=8)
+        point = Point(12.3, 45.6)
+        fine_cell = fine.cell_id_of(point)
+        coarse_cell = coarse.cell_id_of(point)
+        assert fine.rescale_cell(fine_cell, coarse) == coarse_cell
+
+    def test_rescale_identity(self):
+        grid = Grid(theta=5)
+        for cell in [0, 7, 100]:
+            assert grid.rescale_cell(cell, grid) == cell
+
+
+class TestGridProperties:
+    @given(
+        st.integers(min_value=2, max_value=10),
+        st.floats(min_value=-179.9, max_value=179.9, allow_nan=False),
+        st.floats(min_value=-89.9, max_value=89.9, allow_nan=False),
+    )
+    def test_point_maps_into_its_cell_box(self, theta, x, y):
+        grid = Grid(theta=theta)
+        cell = grid.cell_id_of(Point(x, y))
+        box = grid.cell_box(cell)
+        # Allow for boundary rounding: the point is inside or on the border.
+        assert box.expanded(1e-9).contains_point(Point(x, y))
+
+    @given(st.integers(min_value=2, max_value=8))
+    def test_world_space_cells_cover_range(self, theta):
+        grid = Grid(theta=theta, space=WORLD_SPACE)
+        assert grid.cell_id_of(Point(-180, -90)) == 0
+        assert 0 <= grid.cell_id_of(Point(179.9, 89.9)) < grid.total_cells
+
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.floats(min_value=-170, max_value=170, allow_nan=False),
+        st.floats(min_value=-80, max_value=80, allow_nan=False),
+    )
+    def test_center_roundtrip_property(self, theta, x, y):
+        grid = Grid(theta=theta)
+        cell = grid.cell_id_of(Point(x, y))
+        assert grid.cell_id_of(grid.cell_center(cell)) == cell

@@ -1,0 +1,135 @@
+"""Tests for the synthetic dataset generators and source profiles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import BoundingBox
+from repro.data.generators import (
+    DatasetGenerator,
+    generate_cluster_dataset,
+    generate_route_dataset,
+    generate_uniform_dataset,
+)
+from repro.data.queries import perturbed_queries, sample_queries
+from repro.data.sources import SOURCE_PROFILES, build_all_sources, build_source_datasets
+
+REGION = BoundingBox(-77.5, 38.5, -76.5, 39.5)
+
+
+class TestPrimitiveGenerators:
+    def test_route_stays_in_region_and_has_length(self):
+        rng = np.random.default_rng(1)
+        dataset = generate_route_dataset("r", REGION, rng, length=150)
+        assert len(dataset) == 150
+        for point in dataset:
+            assert REGION.contains_point(point)
+
+    def test_route_is_spatially_correlated(self):
+        # Consecutive points of a route must be much closer together than the
+        # region diameter (it is a walk, not a scatter).
+        rng = np.random.default_rng(2)
+        dataset = generate_route_dataset("r", REGION, rng, length=100)
+        steps = [
+            dataset.points[i].distance_to(dataset.points[i + 1])
+            for i in range(len(dataset) - 1)
+        ]
+        assert max(steps) < 0.05 * max(REGION.width, REGION.height) + 1e-9
+
+    def test_cluster_dataset_in_region(self):
+        rng = np.random.default_rng(3)
+        dataset = generate_cluster_dataset("c", REGION, rng, size=200, cluster_count=2)
+        assert len(dataset) == 200
+        for point in dataset:
+            assert REGION.contains_point(point)
+
+    def test_uniform_dataset_spreads_over_region(self):
+        rng = np.random.default_rng(4)
+        dataset = generate_uniform_dataset("u", REGION, rng, size=500)
+        box = dataset.bounding_box
+        assert box.width > 0.5 * REGION.width
+        assert box.height > 0.5 * REGION.height
+
+    def test_determinism_per_seed(self):
+        a = generate_route_dataset("r", REGION, np.random.default_rng(7), length=50)
+        b = generate_route_dataset("r", REGION, np.random.default_rng(7), length=50)
+        assert [p.as_tuple() for p in a] == [p.as_tuple() for p in b]
+
+
+class TestDatasetGenerator:
+    def test_generate_many_names_and_sizes(self):
+        generator = DatasetGenerator(region=REGION, mean_size=100)
+        datasets = generator.generate_many(10, np.random.default_rng(5), prefix="X")
+        assert [d.dataset_id for d in datasets] == [f"X{i}" for i in range(10)]
+        assert all(len(d) >= 10 for d in datasets)
+
+    def test_share_parameters_control_mixture(self):
+        all_routes = DatasetGenerator(region=REGION, route_share=1.0, cluster_share=0.0)
+        datasets = all_routes.generate_many(5, np.random.default_rng(6))
+        # Routes are correlated walks: their consecutive steps are short.
+        for dataset in datasets:
+            steps = [
+                dataset.points[i].distance_to(dataset.points[i + 1])
+                for i in range(len(dataset) - 1)
+            ]
+            assert max(steps) < 0.05 * max(REGION.width, REGION.height) + 1e-9
+
+
+class TestSourceProfiles:
+    def test_five_profiles_match_paper_table(self):
+        assert set(SOURCE_PROFILES) == {"Baidu", "BTAA", "NYU", "Transit", "UMN"}
+        assert SOURCE_PROFILES["Baidu"].dataset_count == 6581
+        assert SOURCE_PROFILES["Transit"].dataset_count == 1967
+
+    def test_build_scales_dataset_count(self):
+        small = build_source_datasets("Transit", scale=0.01, seed=1)
+        large = build_source_datasets("Transit", scale=0.05, seed=1)
+        assert len(large) > len(small)
+        assert len(small) >= 20  # min_datasets floor
+
+    def test_build_is_deterministic(self):
+        a = build_source_datasets("Baidu", scale=0.005, seed=3)
+        b = build_source_datasets("Baidu", scale=0.005, seed=3)
+        assert [d.dataset_id for d in a] == [d.dataset_id for d in b]
+        assert [len(d) for d in a] == [len(d) for d in b]
+
+    def test_datasets_respect_profile_region(self):
+        profile = SOURCE_PROFILES["Transit"]
+        datasets = build_source_datasets(profile, scale=0.01, seed=4)
+        for dataset in datasets[:10]:
+            box = dataset.bounding_box
+            assert profile.region.expanded(1e-6).contains_box(box)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            build_source_datasets("Transit", scale=0.0)
+
+    def test_build_all_sources(self):
+        corpora = build_all_sources(scale=0.005, seed=5)
+        assert set(corpora) == set(SOURCE_PROFILES)
+        assert all(len(datasets) >= 20 for datasets in corpora.values())
+
+
+class TestQueryWorkloads:
+    def test_sample_queries_without_replacement(self):
+        datasets = build_source_datasets("Transit", scale=0.01, seed=6)
+        queries = sample_queries(datasets, count=10, seed=1)
+        assert len(queries) == 10
+        assert len({q.dataset_id for q in queries}) == 10
+
+    def test_sample_more_than_corpus(self):
+        datasets = build_source_datasets("Transit", scale=0.01, seed=6)
+        queries = sample_queries(datasets, count=10_000, seed=1)
+        assert len(queries) == len(datasets)
+
+    def test_sample_invalid_count(self):
+        with pytest.raises(ValueError):
+            sample_queries([], count=0)
+
+    def test_perturbed_queries_move_points_slightly(self):
+        datasets = build_source_datasets("Transit", scale=0.01, seed=6)
+        queries = perturbed_queries(datasets, count=3, seed=2, jitter_fraction=0.001)
+        assert len(queries) == 3
+        for query in queries:
+            assert query.dataset_id.startswith("query-")

@@ -1,0 +1,69 @@
+"""Tests for dataset persistence (JSON and CSV round-trips)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.errors import EmptyDatasetError
+from repro.core.geometry import BoundingBox
+from repro.data.generators import generate_route_dataset
+from repro.data.loaders import (
+    load_datasets_json,
+    load_source_csv,
+    save_datasets_json,
+    save_source_csv,
+)
+
+REGION = BoundingBox(-77.5, 38.5, -76.5, 39.5)
+
+
+def make_corpus(count: int = 5) -> list:
+    rng = np.random.default_rng(1)
+    return [generate_route_dataset(f"d{i}", REGION, rng, length=20) for i in range(count)]
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_points(self, tmp_path):
+        corpus = make_corpus()
+        path = tmp_path / "corpus.json"
+        save_datasets_json(corpus, path)
+        loaded = load_datasets_json(path)
+        assert [d.dataset_id for d in loaded] == [d.dataset_id for d in corpus]
+        for original, restored in zip(corpus, loaded):
+            assert [p.as_tuple() for p in original] == pytest.approx(
+                [p.as_tuple() for p in restored]
+            )
+
+    def test_empty_dataset_in_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"empty": []}), encoding="utf-8")
+        with pytest.raises(EmptyDatasetError):
+            load_datasets_json(path)
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path):
+        corpus = make_corpus(3)
+        written = save_source_csv(corpus, tmp_path / "source")
+        assert len(written) == 3
+        loaded = load_source_csv(tmp_path / "source")
+        assert [d.dataset_id for d in loaded] == sorted(d.dataset_id for d in corpus)
+        by_id = {d.dataset_id: d for d in corpus}
+        for restored in loaded:
+            original = by_id[restored.dataset_id]
+            assert len(restored) == len(original)
+
+    def test_empty_csv_rejected(self, tmp_path):
+        directory = tmp_path / "source"
+        directory.mkdir()
+        (directory / "empty.csv").write_text("x,y\n", encoding="utf-8")
+        with pytest.raises(EmptyDatasetError):
+            load_source_csv(directory)
+
+    def test_loading_empty_directory(self, tmp_path):
+        directory = tmp_path / "nothing"
+        directory.mkdir()
+        assert load_source_csv(directory) == []

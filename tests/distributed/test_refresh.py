@@ -1,0 +1,70 @@
+"""Tests for incremental dataset changes propagating to the data center."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import BoundingBox
+from repro.data.generators import generate_route_dataset
+from repro.distributed.framework import MultiSourceFramework
+
+HOME_REGION = BoundingBox(-77.5, 38.5, -76.5, 39.5)
+NEW_REGION = BoundingBox(10.0, 10.0, 11.0, 11.0)  # far away from the home region
+
+
+def make_datasets(region: BoundingBox, count: int, seed: int, prefix: str):
+    rng = np.random.default_rng(seed)
+    return [generate_route_dataset(f"{prefix}-{i}", region, rng, length=60) for i in range(count)]
+
+
+@pytest.fixture()
+def framework() -> MultiSourceFramework:
+    fw = MultiSourceFramework(theta=12, leaf_capacity=6)
+    fw.add_source("home", make_datasets(HOME_REGION, 15, seed=1, prefix="home"))
+    return fw
+
+
+class TestAddDataset:
+    def test_new_dataset_becomes_searchable(self, framework):
+        newcomer = make_datasets(HOME_REGION, 1, seed=9, prefix="newcomer")[0]
+        framework.add_dataset("home", newcomer)
+        query = framework.query_from_dataset(newcomer)
+        result = framework.overlap_search(query, k=1)
+        assert result.dataset_ids == ["newcomer-0"]
+
+    def test_dataset_outside_original_region_updates_routing(self, framework):
+        # Before the insert, a query in NEW_REGION finds nothing because the
+        # source's registered MBR does not reach it.
+        probe = make_datasets(NEW_REGION, 1, seed=10, prefix="probe")[0]
+        query = framework.query_from_dataset(probe)
+        assert len(framework.overlap_search(query, k=3)) == 0
+
+        # After inserting a dataset in NEW_REGION and refreshing the summary,
+        # the same query must reach the source and find the new dataset.
+        newcomer = make_datasets(NEW_REGION, 1, seed=11, prefix="far")[0]
+        framework.add_dataset("home", newcomer)
+        result = framework.overlap_search(framework.query_from_dataset(newcomer), k=3)
+        assert "far-0" in result.dataset_ids
+
+    def test_dataset_count_updated(self, framework):
+        newcomer = make_datasets(HOME_REGION, 1, seed=12, prefix="extra")[0]
+        framework.add_dataset("home", newcomer)
+        assert framework.dataset_counts()["home"] == 16
+        assert framework.center.global_index.summary_of("home").dataset_count == 16
+
+
+class TestRemoveDataset:
+    def test_removed_dataset_disappears_from_results(self, framework):
+        # Regenerating with the same seed reproduces the "home-0" dataset, so
+        # the query is exactly the removed dataset's points.
+        victim = make_datasets(HOME_REGION, 15, seed=1, prefix="home")[0]
+        victim_query = framework.query_from_dataset(victim)
+        framework.remove_dataset("home", "home-0")
+        result = framework.overlap_search(victim_query, k=20)
+        assert "home-0" not in result.dataset_ids
+        assert framework.dataset_counts()["home"] == 14
+
+    def test_summary_count_shrinks(self, framework):
+        framework.remove_dataset("home", "home-3")
+        assert framework.center.global_index.summary_of("home").dataset_count == 14

@@ -1,0 +1,129 @@
+"""Tests for the DITS-G global index over source summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import IndexNotBuiltError, InvalidParameterError, SourceNotFoundError
+from repro.core.geometry import BoundingBox
+from repro.index.dits_global import DITSGlobalIndex, SourceSummary
+
+
+def summary(source_id: str, min_x, min_y, max_x, max_y, count=10) -> SourceSummary:
+    return SourceSummary(
+        source_id=source_id, rect=BoundingBox(min_x, min_y, max_x, max_y), dataset_count=count
+    )
+
+
+class TestRegistration:
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            DITSGlobalIndex(leaf_capacity=0)
+
+    def test_register_and_lookup(self):
+        index = DITSGlobalIndex()
+        index.register(summary("s1", 0, 0, 10, 10))
+        assert "s1" in index
+        assert len(index) == 1
+        assert index.summary_of("s1").dataset_count == 10
+
+    def test_register_all(self):
+        index = DITSGlobalIndex()
+        index.register_all([summary("a", 0, 0, 1, 1), summary("b", 5, 5, 6, 6)])
+        assert index.source_ids() == ["a", "b"]
+
+    def test_register_refreshes_existing(self):
+        index = DITSGlobalIndex()
+        index.register(summary("s1", 0, 0, 10, 10, count=5))
+        index.register(summary("s1", 0, 0, 20, 20, count=8))
+        assert len(index) == 1
+        assert index.summary_of("s1").dataset_count == 8
+
+    def test_unregister(self):
+        index = DITSGlobalIndex()
+        index.register(summary("s1", 0, 0, 10, 10))
+        index.unregister("s1")
+        assert "s1" not in index
+        with pytest.raises(SourceNotFoundError):
+            index.unregister("s1")
+
+    def test_unknown_summary_lookup(self):
+        index = DITSGlobalIndex()
+        with pytest.raises(SourceNotFoundError):
+            index.summary_of("missing")
+
+    def test_root_requires_registration(self):
+        index = DITSGlobalIndex()
+        with pytest.raises(IndexNotBuiltError):
+            _ = index.root
+
+
+class TestTreeStructure:
+    def test_tree_splits_when_over_capacity(self):
+        index = DITSGlobalIndex(leaf_capacity=2)
+        for i in range(6):
+            index.register(summary(f"s{i}", i * 10, 0, i * 10 + 5, 5))
+        assert index.node_count() > 1
+        assert not index.root.is_leaf()
+
+    def test_single_source_is_leaf_root(self):
+        index = DITSGlobalIndex(leaf_capacity=2)
+        index.register(summary("only", 0, 0, 1, 1))
+        assert index.root.is_leaf()
+        assert index.node_count() == 1
+
+
+class TestCandidateSelection:
+    def build(self) -> DITSGlobalIndex:
+        index = DITSGlobalIndex(leaf_capacity=2)
+        index.register_all(
+            [
+                summary("west", 0, 0, 10, 10),
+                summary("middle", 20, 0, 30, 10),
+                summary("east", 50, 0, 60, 10),
+            ]
+        )
+        return index
+
+    def test_intersecting_sources_are_candidates(self):
+        index = self.build()
+        candidates = index.candidate_sources(BoundingBox(5, 5, 25, 8))
+        assert [c.source_id for c in candidates] == ["middle", "west"]
+
+    def test_disjoint_query_yields_nothing_with_zero_delta(self):
+        index = self.build()
+        assert index.candidate_sources(BoundingBox(40, 20, 45, 25)) == []
+
+    def test_delta_extends_reach(self):
+        index = self.build()
+        # The query sits 5 units east of "east"; a 10-unit threshold reaches it.
+        candidates = index.candidate_sources(BoundingBox(65, 0, 66, 1), delta_geo=10.0)
+        assert "east" in [c.source_id for c in candidates]
+
+    def test_empty_index_returns_no_candidates(self):
+        index = DITSGlobalIndex()
+        assert index.candidate_sources(BoundingBox(0, 0, 1, 1)) == []
+
+    def test_all_summaries_iterates_everything(self):
+        index = self.build()
+        assert [s.source_id for s in index.all_summaries()] == ["east", "middle", "west"]
+
+    def test_candidates_subset_of_all_sources(self):
+        index = self.build()
+        candidates = index.candidate_sources(BoundingBox(0, 0, 100, 100), delta_geo=5.0)
+        assert {c.source_id for c in candidates} <= set(index.source_ids())
+        assert len(candidates) == 3
+
+
+class TestSourceSummary:
+    def test_derived_quantities(self):
+        s = summary("s", 0, 0, 4, 3)
+        assert s.pivot.as_tuple() == (2.0, 1.5)
+        assert s.radius == pytest.approx(2.5)
+
+    def test_wire_payload(self):
+        s = summary("s", 0, 0, 4, 3, count=7)
+        payload = s.wire_payload()
+        assert payload["source"] == "s"
+        assert payload["count"] == 7
+        assert len(payload["rect"]) == 4

@@ -1,0 +1,130 @@
+"""Tests for the CJSP baselines (SG and SG+DITS) and their agreement with CoverageSearch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.connectivity import satisfies_spatial_connectivity
+from repro.core.dataset import DatasetNode
+from repro.core.errors import InvalidParameterError
+from repro.core.geometry import BoundingBox
+from repro.core.grid import Grid
+from repro.core.problems import CoverageQuery
+from repro.index.dits import DITSLocalIndex
+from repro.search.coverage import CoverageSearch
+from repro.search.coverage_baselines import StandardGreedy, StandardGreedyWithDITS
+
+GRID = Grid(theta=8, space=BoundingBox(0, 0, 256, 256))
+
+
+def node(name: str, coords: set[tuple[int, int]]) -> DatasetNode:
+    return DatasetNode.from_cells(name, {GRID.cell_id_from_coords(x, y) for x, y in coords}, GRID)
+
+
+def random_nodes(count: int, seed: int = 0, spread: int = 50) -> list[DatasetNode]:
+    rng = np.random.default_rng(seed)
+    nodes = []
+    for i in range(count):
+        ox, oy = int(rng.integers(0, spread)), int(rng.integers(0, spread))
+        coords = {
+            (ox + int(rng.integers(0, 8)), oy + int(rng.integers(0, 8)))
+            for _ in range(int(rng.integers(3, 10)))
+        }
+        nodes.append(node(f"ds-{i}", coords))
+    return nodes
+
+
+def build_methods(nodes):
+    index = DITSLocalIndex(leaf_capacity=4)
+    index.build(nodes)
+    return {
+        "CoverageSearch": CoverageSearch(index),
+        "SG+DITS": StandardGreedyWithDITS(index),
+        "SG": StandardGreedy(nodes),
+    }
+
+
+class TestValidation:
+    def test_invalid_k_rejected(self):
+        nodes = random_nodes(5, seed=1)
+        for method in build_methods(nodes).values():
+            with pytest.raises(InvalidParameterError):
+                method.search_node(nodes[0], k=0, delta=1.0)
+
+    def test_empty_index_for_sg_dits(self):
+        index = DITSLocalIndex()
+        index.build([])
+        result = StandardGreedyWithDITS(index).search_node(node("q", {(0, 0)}), k=3, delta=1.0)
+        assert len(result) == 0
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_all_methods_reach_same_coverage(self, seed):
+        # The three methods implement the same greedy policy (ties aside), so
+        # the achieved coverage must match.  CoverageSearch merges the result
+        # set before the connectivity search, which can only widen the
+        # candidate pool relative to SG, never shrink it.
+        nodes = random_nodes(25, seed=seed)
+        methods = build_methods(nodes)
+        query = nodes[0]
+        coverages = {
+            name: method.search(CoverageQuery(query=query, k=4, delta=6.0)).total_coverage
+            for name, method in methods.items()
+        }
+        assert coverages["SG"] == coverages["SG+DITS"]
+        assert coverages["CoverageSearch"] >= coverages["SG"] - 2  # tie-breaking slack
+        assert coverages["CoverageSearch"] <= max(coverages.values())
+
+    @pytest.mark.parametrize("delta", [0.0, 2.0, 8.0])
+    def test_sg_variants_choose_identical_sets(self, delta):
+        nodes = random_nodes(20, seed=5)
+        index = DITSLocalIndex(leaf_capacity=3)
+        index.build(nodes)
+        query = nodes[0]
+        plain = StandardGreedy(nodes).search_node(query, k=4, delta=delta)
+        with_dits = StandardGreedyWithDITS(index).search_node(query, k=4, delta=delta)
+        assert plain.total_coverage == with_dits.total_coverage
+        assert plain.dataset_ids == with_dits.dataset_ids
+
+
+class TestConnectivityOfBaselines:
+    @pytest.mark.parametrize("method_name", ["SG", "SG+DITS", "CoverageSearch"])
+    def test_results_connected_to_query(self, method_name):
+        nodes = random_nodes(30, seed=6)
+        methods = build_methods(nodes)
+        query = nodes[0]
+        result = methods[method_name].search_node(query, k=5, delta=4.0)
+        chosen = [n for n in nodes if n.dataset_id in result.dataset_ids]
+        assert satisfies_spatial_connectivity([query, *chosen], 4.0)
+
+    def test_disconnected_corpus_yields_empty_result(self):
+        cluster = [node(f"c{i}", {(i, 0)}) for i in range(4)]
+        query = node("q", {(200, 200)})
+        for method in build_methods(cluster).values():
+            result = method.search_node(query, k=3, delta=1.0)
+            assert len(result) == 0
+
+
+class TestGreedySemantics:
+    def test_first_pick_is_globally_best_connected_gain(self):
+        query = node("q", {(10, 10)})
+        small_near = node("small", {(11, 10), (12, 10)})
+        big_near = node("big", {(10, 11), (10, 12), (10, 13), (10, 14)})
+        big_far = node("far", {(100, 100), (101, 101), (102, 102), (103, 103), (104, 104)})
+        corpus = [small_near, big_near, big_far]
+        for name, method in build_methods(corpus).items():
+            result = method.search_node(query, k=1, delta=1.5)
+            assert result.dataset_ids == ["big"], name
+
+    def test_chained_selection_reaches_indirectly_connected_data(self):
+        # A chain: query - bridge - island.  With k=2 the greedy must be able
+        # to pick the island through the bridge.
+        query = node("q", {(0, 0)})
+        bridge = node("bridge", {(1, 0)})
+        island = node("island", {(2, 0), (2, 1), (3, 0), (3, 1)})
+        for name, method in build_methods([bridge, island]).items():
+            result = method.search_node(query, k=2, delta=1.0)
+            assert set(result.dataset_ids) == {"bridge", "island"}, name
+            assert result.total_coverage == 6, name

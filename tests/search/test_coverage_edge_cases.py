@@ -1,0 +1,132 @@
+"""Edge-case tests for CoverageSearch and the connectivity machinery.
+
+These complement the randomized tests with hand-built topologies where the
+connectivity constraint actually bites: chains that must be followed link by
+link, hubs, rings, and candidates that are large but unreachable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.connectivity import satisfies_spatial_connectivity
+from repro.core.dataset import DatasetNode
+from repro.core.geometry import BoundingBox
+from repro.core.grid import Grid
+from repro.core.problems import CoverageQuery
+from repro.index.dits import DITSLocalIndex
+from repro.search.coverage import CoverageSearch
+from repro.search.coverage_baselines import StandardGreedy
+
+GRID = Grid(theta=8, space=BoundingBox(0, 0, 256, 256))
+
+
+def node(name: str, coords: set[tuple[int, int]]) -> DatasetNode:
+    return DatasetNode.from_cells(name, {GRID.cell_id_from_coords(x, y) for x, y in coords}, GRID)
+
+
+def coverage_search(nodes: list[DatasetNode], capacity: int = 3) -> CoverageSearch:
+    index = DITSLocalIndex(leaf_capacity=capacity)
+    index.build(nodes)
+    return CoverageSearch(index)
+
+
+class TestChainTopologies:
+    def test_long_chain_followed_link_by_link(self):
+        # query - c0 - c1 - c2 - c3, each one cell apart; k=4 must pick all.
+        query = node("q", {(0, 0)})
+        chain = [node(f"c{i}", {(i + 1, 0)}) for i in range(4)]
+        result = coverage_search(chain).search_node(query, k=4, delta=1.0)
+        assert set(result.dataset_ids) == {"c0", "c1", "c2", "c3"}
+        assert result.total_coverage == 5
+
+    def test_chain_blocked_by_small_k(self):
+        # With k=2 only the first two links are reachable *and* selectable.
+        query = node("q", {(0, 0)})
+        chain = [node(f"c{i}", {(i + 1, 0)}) for i in range(4)]
+        result = coverage_search(chain).search_node(query, k=2, delta=1.0)
+        chosen = [n for n in chain if n.dataset_id in result.dataset_ids]
+        assert satisfies_spatial_connectivity([query, *chosen], 1.0)
+        assert len(result) == 2
+
+    def test_broken_chain_stops_selection(self):
+        query = node("q", {(0, 0)})
+        reachable = node("near", {(1, 0)})
+        unreachable = node("far", {(10, 0), (11, 0), (12, 0)})
+        result = coverage_search([reachable, unreachable]).search_node(query, k=3, delta=1.0)
+        assert result.dataset_ids == ["near"]
+
+
+class TestHubAndRing:
+    def test_hub_unlocks_spokes(self):
+        query = node("q", {(10, 10)})
+        hub = node("hub", {(11, 10), (12, 10), (13, 10)})
+        spokes = [node(f"s{i}", {(14, 10 + i), (15, 10 + i)}) for i in range(-1, 2)]
+        result = coverage_search([hub, *spokes]).search_node(query, k=4, delta=1.5)
+        assert "hub" in result.dataset_ids
+        assert len(result) == 4
+
+    def test_ring_reachable_from_any_entry(self):
+        query = node("q", {(50, 50)})
+        ring = [
+            node("r0", {(51, 50)}),
+            node("r1", {(52, 50)}),
+            node("r2", {(52, 51)}),
+            node("r3", {(51, 51)}),
+        ]
+        result = coverage_search(ring).search_node(query, k=4, delta=1.0)
+        assert set(result.dataset_ids) == {"r0", "r1", "r2", "r3"}
+
+
+class TestDegenerateInputs:
+    def test_query_equals_entire_corpus_coverage(self):
+        # Every candidate is a subset of the query: no positive marginal gain.
+        query = node("q", {(0, 0), (1, 1), (2, 2)})
+        subsets = [node("s1", {(0, 0)}), node("s2", {(1, 1), (2, 2)})]
+        result = coverage_search(subsets).search_node(query, k=2, delta=5.0)
+        assert len(result) == 0
+        assert result.total_coverage == 3
+
+    def test_zero_delta_requires_overlap(self):
+        query = node("q", {(5, 5)})
+        touching = node("touch", {(5, 5), (6, 6)})
+        adjacent = node("adj", {(6, 5)})
+        result = coverage_search([touching, adjacent]).search_node(query, k=2, delta=0.0)
+        assert result.dataset_ids == ["touch"]
+
+    def test_duplicate_candidates_only_counted_once(self):
+        query = node("q", {(0, 0)})
+        twins = [node(f"twin{i}", {(1, 0), (2, 0)}) for i in range(5)]
+        result = coverage_search(twins).search_node(query, k=5, delta=1.0)
+        # After the first twin every other adds zero gain, so only one is kept.
+        assert len(result) == 1
+        assert result.total_coverage == 3
+
+    def test_k_of_one_takes_best_gain_even_if_smaller_dataset(self):
+        # A small dataset adding all-new cells beats a big dataset that mostly
+        # repeats the query.
+        query = node("q", {(0, 0), (1, 0), (2, 0), (3, 0)})
+        repetitive = node("rep", {(0, 0), (1, 0), (2, 0), (3, 0), (4, 0)})
+        fresh = node("fresh", {(0, 1), (1, 1), (2, 1)})
+        result = coverage_search([repetitive, fresh]).search_node(query, k=1, delta=1.0)
+        assert result.dataset_ids == ["fresh"]
+        assert result.entries[0].score == 3.0
+
+
+class TestAgainstStandardGreedyOnTopologies:
+    @pytest.mark.parametrize(
+        "delta,k",
+        [(1.0, 2), (1.0, 4), (2.0, 3), (5.0, 5)],
+    )
+    def test_same_total_coverage_as_plain_greedy(self, delta, k):
+        query = node("q", {(20, 20)})
+        corpus = [
+            node("a", {(21, 20), (22, 20)}),
+            node("b", {(23, 20), (23, 21), (23, 22)}),
+            node("c", {(25, 22), (26, 22)}),
+            node("d", {(40, 40), (41, 41)}),
+            node("e", {(21, 21), (21, 22), (21, 23), (21, 24)}),
+        ]
+        fast = coverage_search(corpus).search(CoverageQuery(query=query, k=k, delta=delta))
+        plain = StandardGreedy(corpus).search(CoverageQuery(query=query, k=k, delta=delta))
+        assert fast.total_coverage == plain.total_coverage

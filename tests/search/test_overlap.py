@@ -1,0 +1,168 @@
+"""Tests for OverlapSearch (Algorithm 2) and its exactness guarantees."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataset import DatasetNode
+from repro.core.geometry import BoundingBox
+from repro.core.grid import Grid
+from repro.core.problems import OverlapQuery, brute_force_overlap
+from repro.index.dits import DITSLocalIndex
+from repro.search.overlap import OverlapSearch
+
+GRID = Grid(theta=8, space=BoundingBox(0, 0, 256, 256))
+
+
+def node(name: str, coords: set[tuple[int, int]]) -> DatasetNode:
+    return DatasetNode.from_cells(name, {GRID.cell_id_from_coords(x, y) for x, y in coords}, GRID)
+
+
+def random_nodes(count: int, seed: int = 0, spread: int = 200, cluster: int = 20) -> list[DatasetNode]:
+    rng = np.random.default_rng(seed)
+    nodes = []
+    for i in range(count):
+        ox, oy = int(rng.integers(0, spread)), int(rng.integers(0, spread))
+        coords = {
+            (ox + int(rng.integers(0, cluster)), oy + int(rng.integers(0, cluster)))
+            for _ in range(int(rng.integers(3, 15)))
+        }
+        nodes.append(node(f"ds-{i}", coords))
+    return nodes
+
+
+def build_index(nodes: list[DatasetNode], capacity: int = 5) -> DITSLocalIndex:
+    index = DITSLocalIndex(leaf_capacity=capacity)
+    index.build(nodes)
+    return index
+
+
+class TestBasicBehaviour:
+    def test_empty_index_returns_empty_result(self):
+        index = DITSLocalIndex()
+        index.build([])
+        search = OverlapSearch(index)
+        result = search.search_node(node("q", {(0, 0)}), k=3)
+        assert len(result) == 0
+
+    def test_query_identical_to_dataset_ranks_it_first(self):
+        nodes = random_nodes(30, seed=1)
+        index = build_index(nodes)
+        search = OverlapSearch(index)
+        query = nodes[7]
+        result = search.search_node(query, k=3)
+        assert result.dataset_ids[0] == "ds-7"
+        assert result.scores[0] == len(query.cells)
+
+    def test_k_larger_than_corpus(self):
+        nodes = random_nodes(4, seed=2)
+        index = build_index(nodes, capacity=2)
+        search = OverlapSearch(index)
+        result = search.search_node(nodes[0], k=10)
+        assert len(result) <= 4
+
+    def test_result_scores_sorted_descending(self):
+        nodes = random_nodes(30, seed=3)
+        search = OverlapSearch(build_index(nodes))
+        result = search.search_node(nodes[0], k=8)
+        assert result.scores == sorted(result.scores, reverse=True)
+
+    def test_search_accepts_query_object(self):
+        nodes = random_nodes(10, seed=4)
+        search = OverlapSearch(build_index(nodes))
+        result = search.search(OverlapQuery(query=nodes[0], k=2))
+        assert len(result) <= 2
+
+    def test_disjoint_query_returns_zero_scores_or_empty(self):
+        nodes = [node(f"d{i}", {(i, 0)}) for i in range(5)]
+        search = OverlapSearch(build_index(nodes, capacity=2))
+        query = node("q", {(200, 200)})
+        result = search.search_node(query, k=3)
+        assert all(score == 0 for score in result.scores)
+
+    def test_index_property_exposed(self):
+        index = build_index(random_nodes(5, seed=5), capacity=2)
+        assert OverlapSearch(index).index is index
+
+
+class TestExactnessAgainstBruteForce:
+    @pytest.mark.parametrize("seed", [10, 11, 12, 13])
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_matches_brute_force_scores(self, seed, k):
+        nodes = random_nodes(60, seed=seed)
+        search = OverlapSearch(build_index(nodes, capacity=6))
+        for query in nodes[:8]:
+            fast = search.search_node(query, k)
+            exact = brute_force_overlap(query, nodes, k)
+            fast_scores = sorted(fast.scores, reverse=True) + [0.0] * k
+            exact_scores = sorted(exact.scores, reverse=True) + [0.0] * k
+            assert fast_scores[:k] == exact_scores[:k]
+
+    def test_matches_brute_force_with_external_query(self):
+        nodes = random_nodes(50, seed=20)
+        search = OverlapSearch(build_index(nodes, capacity=4))
+        external = node("external", {(40, 40), (41, 41), (42, 40), (60, 60)})
+        fast = search.search_node(external, k=5)
+        exact = brute_force_overlap(external, nodes, k=5)
+        fast_scores = (sorted(fast.scores, reverse=True) + [0.0] * 5)[:5]
+        exact_scores = (sorted(exact.scores, reverse=True) + [0.0] * 5)[:5]
+        assert fast_scores == exact_scores
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=5, max_value=40),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=2, max_value=10),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_property_exactness(self, count, k, capacity, seed):
+        nodes = random_nodes(count, seed=seed, spread=60, cluster=15)
+        search = OverlapSearch(build_index(nodes, capacity=capacity))
+        query = nodes[seed % count]
+        fast = search.search_node(query, k)
+        exact = brute_force_overlap(query, nodes, k)
+        fast_scores = sorted(fast.scores, reverse=True) + [0.0] * k
+        exact_scores = sorted(exact.scores, reverse=True) + [0.0] * k
+        assert fast_scores[:k] == exact_scores[:k]
+
+
+class TestPruningBehaviour:
+    def test_stats_populated(self):
+        nodes = random_nodes(60, seed=30)
+        search = OverlapSearch(build_index(nodes, capacity=5))
+        search.search_node(nodes[0], k=3)
+        stats = search.last_stats
+        assert stats.visited_leaves + stats.pruned_by_mbr > 0
+        assert stats.candidate_leaves <= stats.visited_leaves
+
+    def test_disjoint_mbr_leaves_are_pruned(self):
+        # Two far-apart clusters: querying inside one must prune the other.
+        left = [node(f"left-{i}", {(i, 0), (i, 1)}) for i in range(10)]
+        right = [node(f"right-{i}", {(200 + i, 200), (200 + i, 201)}) for i in range(10)]
+        search = OverlapSearch(build_index(left + right, capacity=2))
+        query = node("q", {(0, 0), (1, 1), (2, 0)})
+        result = search.search_node(query, k=3)
+        assert all(dataset_id.startswith("left") for dataset_id in result.dataset_ids)
+        assert search.last_stats.pruned_by_mbr > 0
+
+    def test_verified_datasets_never_exceed_corpus(self):
+        nodes = random_nodes(40, seed=31)
+        search = OverlapSearch(build_index(nodes, capacity=4))
+        search.search_node(nodes[0], k=5)
+        assert search.last_stats.verified_datasets <= len(nodes)
+
+
+class TestLeafCapacitySweep:
+    @pytest.mark.parametrize("capacity", [1, 2, 8, 64])
+    def test_exactness_independent_of_capacity(self, capacity):
+        nodes = random_nodes(40, seed=40)
+        search = OverlapSearch(build_index(nodes, capacity=capacity))
+        query = nodes[3]
+        exact = brute_force_overlap(query, nodes, 6)
+        fast = search.search_node(query, 6)
+        fast_scores = (sorted(fast.scores, reverse=True) + [0.0] * 6)[:6]
+        exact_scores = (sorted(exact.scores, reverse=True) + [0.0] * 6)[:6]
+        assert fast_scores == exact_scores

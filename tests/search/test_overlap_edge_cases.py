@@ -1,0 +1,110 @@
+"""Edge-case and adversarial-shape tests for OverlapSearch.
+
+The randomized exactness tests in ``test_overlap.py`` cover typical corpora;
+these tests construct deliberately awkward shapes — heavy duplication, nested
+MBRs, single-cell datasets, long thin routes crossing many leaves — where
+pruning logic is most likely to over-prune.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataset import DatasetNode
+from repro.core.geometry import BoundingBox
+from repro.core.grid import Grid
+from repro.core.problems import brute_force_overlap
+from repro.index.dits import DITSLocalIndex
+from repro.search.overlap import OverlapSearch
+
+GRID = Grid(theta=8, space=BoundingBox(0, 0, 256, 256))
+
+
+def node(name: str, coords: set[tuple[int, int]]) -> DatasetNode:
+    return DatasetNode.from_cells(name, {GRID.cell_id_from_coords(x, y) for x, y in coords}, GRID)
+
+
+def search_over(nodes: list[DatasetNode], capacity: int = 3) -> OverlapSearch:
+    index = DITSLocalIndex(leaf_capacity=capacity)
+    index.build(nodes)
+    return OverlapSearch(index)
+
+
+def assert_exact(nodes: list[DatasetNode], query: DatasetNode, k: int, capacity: int = 3) -> None:
+    fast = search_over(nodes, capacity).search_node(query, k)
+    exact = brute_force_overlap(query, nodes, k)
+    fast_scores = (sorted(fast.scores, reverse=True) + [0.0] * k)[:k]
+    exact_scores = (sorted(exact.scores, reverse=True) + [0.0] * k)[:k]
+    assert fast_scores == exact_scores
+
+
+class TestDuplicateHeavyCorpora:
+    def test_all_datasets_identical(self):
+        nodes = [node(f"d{i}", {(5, 5), (6, 6), (7, 7)}) for i in range(12)]
+        assert_exact(nodes, nodes[0], k=5)
+
+    def test_many_ties_at_the_kth_position(self):
+        query = node("q", {(0, 0), (1, 1), (2, 2), (3, 3)})
+        nodes = [node(f"tie{i}", {(0, 0), (1, 1)}) for i in range(8)]
+        nodes.append(node("best", {(0, 0), (1, 1), (2, 2), (3, 3)}))
+        result = search_over(nodes).search_node(query, 3)
+        assert result.scores[0] == 4.0
+        assert result.scores[1] == result.scores[2] == 2.0
+
+    def test_single_cell_datasets(self):
+        nodes = [node(f"cell{i}", {(i, i)}) for i in range(20)]
+        query = node("q", {(4, 4), (5, 5), (6, 6)})
+        assert_exact(nodes, query, k=4)
+
+
+class TestGeometricShapes:
+    def test_nested_mbrs(self):
+        # A big dataset whose MBR contains everything, plus small datasets
+        # inside it; MBR pruning must not hide the small ones.
+        big = node("big", {(0, 0), (100, 100)})
+        smalls = [node(f"small{i}", {(10 * i, 10 * i), (10 * i + 1, 10 * i)}) for i in range(1, 9)]
+        query = node("q", {(40, 40), (41, 40), (50, 50)})
+        assert_exact([big, *smalls], query, k=3)
+
+    def test_long_thin_route_crossing_many_leaves(self):
+        route = node("route", {(i, 128) for i in range(0, 200, 2)})
+        blocks = [
+            node(f"block{i}", {(i * 20 + dx, 128 + dy) for dx in range(3) for dy in range(3)})
+            for i in range(10)
+        ]
+        assert_exact([route, *blocks], route, k=5, capacity=2)
+
+    def test_query_far_outside_corpus(self):
+        nodes = [node(f"d{i}", {(i, i), (i + 1, i)}) for i in range(10)]
+        query = node("q", {(250, 250), (251, 251)})
+        result = search_over(nodes).search_node(query, 3)
+        assert all(score == 0.0 for score in result.scores)
+
+    def test_query_covering_entire_space(self):
+        nodes = [node(f"d{i}", {(i * 10, i * 10)}) for i in range(10)]
+        query = node("q", {(x, y) for x in range(0, 100, 5) for y in range(0, 100, 5)})
+        assert_exact(nodes, query, k=10)
+
+
+class TestParameterEdges:
+    def test_k_equals_one(self):
+        nodes = [node(f"d{i}", {(i, 0), (i, 1)}) for i in range(15)]
+        query = node("q", {(7, 0), (7, 1), (8, 0)})
+        result = search_over(nodes).search_node(query, 1)
+        assert len(result) == 1
+        assert result.scores[0] == 2.0
+
+    def test_capacity_one_tree(self):
+        nodes = [node(f"d{i}", {(i, i), (i, i + 1)}) for i in range(9)]
+        assert_exact(nodes, nodes[4], k=3, capacity=1)
+
+    def test_capacity_larger_than_corpus(self):
+        nodes = [node(f"d{i}", {(i, i)}) for i in range(5)]
+        assert_exact(nodes, nodes[0], k=2, capacity=100)
+
+    @pytest.mark.parametrize("k", [1, 2, 5, 20])
+    def test_various_k_on_clustered_corpus(self, k):
+        cluster_a = [node(f"a{i}", {(i, 0), (i, 1), (i, 2)}) for i in range(10)]
+        cluster_b = [node(f"b{i}", {(100 + i, 100), (100 + i, 101)}) for i in range(10)]
+        query = node("q", {(3, 0), (3, 1), (4, 0), (100, 100)})
+        assert_exact(cluster_a + cluster_b, query, k=k)

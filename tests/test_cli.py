@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def corpus_dir(tmp_path):
+    """A small on-disk corpus generated through the CLI itself."""
+    out = tmp_path / "corpus"
+    exit_code = main(
+        ["generate", "--profile", "Transit", "--scale", "0.01", "--seed", "3", "--out", str(out)]
+    )
+    assert exit_code == 0
+    return out
+
+
+@pytest.fixture()
+def query_file(corpus_dir, tmp_path):
+    """A query CSV: the first dataset of the generated corpus."""
+    first_csv = sorted(corpus_dir.glob("*.csv"))[0]
+    query_path = tmp_path / "query.csv"
+    query_path.write_text(first_csv.read_text(encoding="utf-8"), encoding="utf-8")
+    return query_path
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "--out", "somewhere"])
+        assert args.profile == "Transit"
+        assert args.scale == pytest.approx(0.02)
+
+    def test_coverage_has_delta(self):
+        args = build_parser().parse_args(
+            ["coverage", "--corpus", "c", "--query", "q", "--delta", "3.5"]
+        )
+        assert args.delta == pytest.approx(3.5)
+
+
+class TestGenerate:
+    def test_writes_csv_files(self, corpus_dir):
+        files = list(corpus_dir.glob("*.csv"))
+        assert len(files) >= 20
+        with files[0].open(newline="", encoding="utf-8") as handle:
+            rows = list(csv.DictReader(handle))
+        assert {"x", "y"} <= set(rows[0].keys())
+
+
+class TestSearchCommands:
+    def test_overlap_outputs_ranked_table(self, corpus_dir, query_file, capsys):
+        exit_code = main(
+            [
+                "overlap",
+                "--corpus", str(corpus_dir),
+                "--query", str(query_file),
+                "--theta", "12",
+                "--k", "3",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "OJSP top-3" in output
+        assert "overlap_cells" in output
+        # The query is one of the corpus datasets, so the top hit must share
+        # every one of its cells (rank 1 appears in the table).
+        assert "1" in output
+
+    def test_coverage_outputs_selection_and_totals(self, corpus_dir, query_file, capsys):
+        exit_code = main(
+            [
+                "coverage",
+                "--corpus", str(corpus_dir),
+                "--query", str(query_file),
+                "--k", "3",
+                "--delta", "10",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "CJSP selection" in output
+        assert "coverage:" in output
+
+    def test_stats_command(self, corpus_dir, capsys):
+        exit_code = main(["stats", "--corpus", str(corpus_dir), "--theta", "11"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "corpus statistics" in output
+        assert "build_ms" in output
+
+    def test_missing_corpus_errors(self, tmp_path, query_file):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(SystemExit):
+            main(["overlap", "--corpus", str(empty), "--query", str(query_file)])
+
+    def test_empty_query_errors(self, corpus_dir, tmp_path):
+        bad_query = tmp_path / "empty_query.csv"
+        bad_query.write_text("x,y\n", encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main(["overlap", "--corpus", str(corpus_dir), "--query", str(bad_query)])

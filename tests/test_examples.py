@@ -1,0 +1,57 @@
+"""Smoke tests for the runnable examples.
+
+The examples double as living documentation, so the suite executes the fast
+ones end to end (the heavier federation example is exercised indirectly by
+the distributed-framework tests and the communication benchmarks).
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> None:
+    script = EXAMPLES_DIR / name
+    assert script.exists(), script
+    sys_path_before = list(sys.path)
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.path[:] = sys_path_before
+
+
+class TestExamples:
+    def test_examples_directory_contents(self):
+        names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "municipal_planning.py",
+            "multi_source_federation.py",
+            "index_maintenance.py",
+        } <= names
+
+    def test_quickstart_runs(self, capsys):
+        run_example("quickstart.py")
+        output = capsys.readouterr().out
+        assert "OJSP: top-5 overlapping datasets" in output
+        assert "CJSP: greedy coverage selection" in output
+        assert "communication:" in output
+
+    def test_municipal_planning_runs(self, capsys):
+        run_example("municipal_planning.py")
+        output = capsys.readouterr().out
+        assert "Task 1 (OJSP)" in output
+        assert "Task 2 (CJSP)" in output
+
+    @pytest.mark.slow
+    def test_index_maintenance_runs(self, capsys):
+        run_example("index_maintenance.py")
+        output = capsys.readouterr().out
+        assert "exactness preserved" in output
+        assert "full rebuild" in output

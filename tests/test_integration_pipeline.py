@@ -1,0 +1,71 @@
+"""End-to-end pipeline test: generate → persist → load → index → search.
+
+This mirrors how a user would actually adopt the library: materialise (or
+download) corpora to disk, load each directory as a data source, and run both
+joinable searches through the multi-source framework — with results validated
+against the brute-force reference over the union of all sources.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.connectivity import satisfies_spatial_connectivity
+from repro.core.problems import brute_force_overlap
+from repro.data.loaders import load_source_csv, save_source_csv
+from repro.data.sources import build_source_datasets
+from repro.distributed.framework import MultiSourceFramework
+
+
+@pytest.fixture(scope="module")
+def corpus_dirs(tmp_path_factory):
+    """Two on-disk corpora written as CSV directories."""
+    root = tmp_path_factory.mktemp("portals")
+    layout = {}
+    for profile, scale in (("Transit", 0.01), ("Baidu", 0.005)):
+        datasets = build_source_datasets(profile, scale=scale, seed=13)
+        directory = root / profile.lower()
+        save_source_csv(datasets, directory)
+        layout[profile] = directory
+    return layout
+
+
+@pytest.fixture(scope="module")
+def framework(corpus_dirs) -> MultiSourceFramework:
+    fw = MultiSourceFramework(theta=12, leaf_capacity=8)
+    for profile, directory in corpus_dirs.items():
+        fw.add_source(profile, load_source_csv(directory))
+    return fw
+
+
+class TestPipeline:
+    def test_sources_loaded_from_disk(self, framework, corpus_dirs):
+        counts = framework.dataset_counts()
+        for profile, directory in corpus_dirs.items():
+            assert counts[profile] == len(list(directory.glob("*.csv")))
+
+    def test_overlap_matches_brute_force_over_union(self, framework):
+        all_nodes = []
+        for source_id in framework.source_ids():
+            all_nodes.extend(framework.center.source(source_id).index.nodes())
+        query = all_nodes[0]
+        fast = framework.overlap_search(query, k=5)
+        exact = brute_force_overlap(query, all_nodes, k=5)
+        assert [s for s in fast.scores if s > 0] == [s for s in exact.scores if s > 0]
+
+    def test_coverage_is_connected_and_grows(self, framework):
+        source = framework.center.source("Transit")
+        query = next(iter(source.index.nodes()))
+        result = framework.coverage_search(query, k=4, delta=10.0)
+        chosen = [
+            framework.center.source(entry.source_id).index.get(entry.dataset_id)
+            for entry in result
+        ]
+        assert satisfies_spatial_connectivity([query, *chosen], delta=10.0)
+        assert result.total_coverage >= result.query_coverage
+
+    def test_communication_was_accounted(self, framework):
+        stats = framework.communication_stats()
+        assert stats.messages_sent > 0
+        assert stats.total_bytes > 0
+        assert framework.transmission_time_ms() > 0.0

@@ -1,0 +1,102 @@
+"""Tests for the package's public API surface and documentation discipline."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.core",
+    "repro.core.dataset",
+    "repro.core.grid",
+    "repro.core.geometry",
+    "repro.core.distance",
+    "repro.core.connectivity",
+    "repro.core.problems",
+    "repro.index",
+    "repro.index.dits",
+    "repro.index.dits_global",
+    "repro.search",
+    "repro.search.overlap",
+    "repro.search.coverage",
+    "repro.distributed",
+    "repro.distributed.framework",
+    "repro.data",
+    "repro.bench",
+    "repro.cli",
+]
+
+
+class TestExports:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    @pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+    def test_module_importable_and_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip(), module_name
+
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_every_submodule_has_a_docstring(self):
+        missing = []
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            module = importlib.import_module(info.name)
+            if not (module.__doc__ and module.__doc__.strip()):
+                missing.append(info.name)
+        assert not missing, f"modules without docstrings: {missing}"
+
+    def test_public_classes_and_functions_documented(self):
+        undocumented = []
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            module = importlib.import_module(info.name)
+            for name, obj in vars(module).items():
+                if name.startswith("_"):
+                    continue
+                if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                    continue
+                if getattr(obj, "__module__", None) != module.__name__:
+                    continue
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    undocumented.append(f"{module.__name__}.{name}")
+        assert not undocumented, f"undocumented public items: {undocumented}"
+
+
+class TestApiConventions:
+    def test_search_classes_share_interface(self):
+        from repro.search import (
+            BruteForceOverlap,
+            JosieOverlap,
+            OverlapSearch,
+            QuadTreeOverlap,
+            RTreeOverlap,
+            STS3Overlap,
+        )
+
+        for cls in (OverlapSearch, RTreeOverlap, JosieOverlap, QuadTreeOverlap, STS3Overlap, BruteForceOverlap):
+            assert hasattr(cls, "search")
+            assert hasattr(cls, "search_node")
+            assert isinstance(cls.name, str)
+
+    def test_coverage_classes_share_interface(self):
+        from repro.search import CoverageSearch, StandardGreedy, StandardGreedyWithDITS
+
+        for cls in (CoverageSearch, StandardGreedy, StandardGreedyWithDITS):
+            assert hasattr(cls, "search")
+            assert hasattr(cls, "search_node")
+
+    def test_index_registry_consistent(self):
+        from repro.index import DATASET_INDEX_CLASSES
+        from repro.index.base import DatasetIndex
+
+        for name, cls in DATASET_INDEX_CLASSES.items():
+            assert issubclass(cls, DatasetIndex)
+            assert cls.name == name or cls.name in name or name in cls.name

@@ -1,0 +1,84 @@
+"""Tests for the bounded top-k heap."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.heaps import BoundedTopK
+
+
+class TestBasics:
+    def test_rejects_non_positive_k(self):
+        with pytest.raises(ValueError):
+            BoundedTopK(0)
+        with pytest.raises(ValueError):
+            BoundedTopK(-3)
+
+    def test_empty_heap(self):
+        heap = BoundedTopK(3)
+        assert len(heap) == 0
+        assert not heap
+        assert not heap.is_full()
+        assert heap.kth_score() == float("-inf")
+        assert heap.items() == []
+
+    def test_keeps_largest_k(self):
+        heap = BoundedTopK(3)
+        for score in [5, 1, 9, 3, 7, 2]:
+            heap.push(score, f"item-{score}")
+        assert [score for score, _ in heap.items()] == [9, 7, 5]
+
+    def test_kth_score_is_threshold(self):
+        heap = BoundedTopK(2)
+        heap.push(4, "a")
+        heap.push(6, "b")
+        assert heap.kth_score() == 4
+        assert not heap.push(3, "c")
+        assert heap.push(5, "d")
+        assert heap.kth_score() == 5
+
+    def test_push_returns_whether_retained(self):
+        heap = BoundedTopK(1)
+        assert heap.push(1, "a") is True
+        assert heap.push(0, "b") is False
+        assert heap.push(2, "c") is True
+
+    def test_extend(self):
+        heap = BoundedTopK(2)
+        heap.extend([(1, "a"), (5, "b"), (3, "c")])
+        assert [item for _, item in heap.items()] == ["b", "c"]
+
+    def test_equal_scores_keep_insertion_order(self):
+        heap = BoundedTopK(3)
+        heap.push(2, "first")
+        heap.push(2, "second")
+        heap.push(2, "third")
+        assert [item for _, item in heap.items()] == ["first", "second", "third"]
+
+    def test_iteration_matches_items(self):
+        heap = BoundedTopK(4)
+        heap.extend([(i, str(i)) for i in range(10)])
+        assert list(heap) == heap.items()
+
+
+class TestProperties:
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=60),
+           st.integers(min_value=1, max_value=10))
+    def test_matches_sorted_topk(self, scores, k):
+        heap = BoundedTopK(k)
+        for index, score in enumerate(scores):
+            heap.push(score, index)
+        expected = sorted(scores, reverse=True)[:k]
+        assert [score for score, _ in heap.items()] == expected
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32),
+                    min_size=1, max_size=40),
+           st.integers(min_value=1, max_value=8))
+    def test_never_exceeds_k(self, scores, k):
+        heap = BoundedTopK(k)
+        for index, score in enumerate(scores):
+            heap.push(score, index)
+        assert len(heap) <= k
+        assert heap.is_full() == (len(scores) >= k)

@@ -1,0 +1,90 @@
+"""Tests for the z-order (Morton) encoding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.zorder import (
+    deinterleave_bits,
+    interleave_bits,
+    zorder_decode,
+    zorder_encode,
+)
+
+
+class TestEncodeDecode:
+    def test_origin_is_zero(self):
+        assert zorder_encode(0, 0) == 0
+
+    def test_paper_figure2_layout(self):
+        # Fig. 2(a): a 4x4 grid where cell (1, 0) has ID 1, (0, 1) has ID 2,
+        # (1, 1) has ID 3, and the top-right cell (3, 3) has ID 15.
+        assert zorder_encode(1, 0) == 1
+        assert zorder_encode(0, 1) == 2
+        assert zorder_encode(1, 1) == 3
+        assert zorder_encode(2, 0) == 4
+        assert zorder_encode(3, 3) == 15
+
+    def test_decode_inverts_encode_examples(self):
+        for x, y in [(0, 0), (1, 2), (7, 5), (1023, 511), (2**14 - 1, 2**14 - 1)]:
+            assert zorder_decode(zorder_encode(x, y)) == (x, y)
+
+    def test_ids_cover_full_range_for_small_grid(self):
+        side = 8
+        codes = {zorder_encode(x, y) for x in range(side) for y in range(side)}
+        assert codes == set(range(side * side))
+
+    def test_negative_coordinate_rejected(self):
+        with pytest.raises(ValueError):
+            zorder_encode(-1, 0)
+        with pytest.raises(ValueError):
+            zorder_encode(0, -1)
+
+    def test_negative_code_rejected(self):
+        with pytest.raises(ValueError):
+            zorder_decode(-5)
+
+    def test_coordinate_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            interleave_bits(1 << 32)
+
+
+class TestBitHelpers:
+    def test_interleave_spreads_bits(self):
+        assert interleave_bits(0b1011) == 0b1000101
+
+    def test_deinterleave_collects_bits(self):
+        assert deinterleave_bits(0b1000101) == 0b1011
+
+    @given(st.integers(min_value=0, max_value=2**20 - 1))
+    def test_deinterleave_inverts_interleave(self, value):
+        assert deinterleave_bits(interleave_bits(value)) == value
+
+
+class TestProperties:
+    @given(
+        st.integers(min_value=0, max_value=2**16 - 1),
+        st.integers(min_value=0, max_value=2**16 - 1),
+    )
+    def test_roundtrip(self, x, y):
+        assert zorder_decode(zorder_encode(x, y)) == (x, y)
+
+    @given(
+        st.integers(min_value=0, max_value=2**10 - 1),
+        st.integers(min_value=0, max_value=2**10 - 1),
+        st.integers(min_value=0, max_value=2**10 - 1),
+        st.integers(min_value=0, max_value=2**10 - 1),
+    )
+    def test_encoding_is_injective(self, x1, y1, x2, y2):
+        if (x1, y1) != (x2, y2):
+            assert zorder_encode(x1, y1) != zorder_encode(x2, y2)
+
+    @given(
+        st.integers(min_value=0, max_value=2**12 - 1),
+        st.integers(min_value=0, max_value=2**12 - 1),
+    )
+    def test_code_bounded_by_grid_size(self, x, y):
+        code = zorder_encode(x, y)
+        assert 0 <= code < (1 << 24)
