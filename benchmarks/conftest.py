@@ -19,10 +19,30 @@ laptop.  Scale up ``BENCH_SCALE`` to approach the paper's scale.
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import pytest
 
 from repro.bench.harness import ExperimentConfig, Workbench
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark every benchmark in this directory ``sweep`` (and ``slow``).
+
+    The markers are registered in ``pyproject.toml``; ``pytest -m "not
+    sweep"`` therefore gives a sub-minute smoke lane over ``tests/`` while
+    the full run still regenerates every figure.
+    """
+    for item in items:
+        try:
+            in_bench_dir = _BENCH_DIR in Path(str(item.path)).resolve().parents
+        except (OSError, ValueError):
+            in_bench_dir = False
+        if in_bench_dir:
+            item.add_marker(pytest.mark.sweep)
+            item.add_marker(pytest.mark.slow)
 
 #: Scale of the synthetic corpora relative to the paper's dataset counts.
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))

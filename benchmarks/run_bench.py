@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Benchmark entry point: run figure sweeps and emit a perf-trajectory JSON.
+
+Runs the same experiment drivers the pytest benchmarks wrap, measures the
+wall-clock of each sweep, and writes a ``BENCH_*.json`` file so successive
+PRs can record their performance trajectory::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --json BENCH_PR1.json
+    PYTHONPATH=src python benchmarks/run_bench.py --figures fig10,fig12 --json out.json
+
+The JSON schema (``repro-bench/v1``)::
+
+    {
+      "schema": "repro-bench/v1",
+      "created": "...",             # ISO timestamp
+      "python": "3.11.7",
+      "config": {...},              # scales/sources/theta/seed used
+      "baseline": {...},            # optional: the --baseline-json contents
+      "figures": {
+        "fig10": {"wall_s": 22.8, "rows": [...],
+                  "seed_wall_s": 73.6, "speedup_vs_seed": 3.28},
+        ...
+      }
+    }
+
+``--baseline-json`` points at a reference measurement (e.g.
+``benchmarks/baselines/seed.json``, recorded from the seed commit) of the
+form ``{"label": ..., "figures": {"fig10": {"wall_s": ...}, ...}}``; when
+given, per-figure ``seed_wall_s``/``speedup_vs_seed`` fields are filled in
+so successive ``BENCH_*.json`` files carry the whole trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from conftest import (  # noqa: E402  (path set up above)
+    BENCH_CONFIG,
+    DELTA_VALUES,
+    K_VALUES,
+    LEAF_CAPACITIES,
+    OJSP_CONFIG,
+    Q_VALUES,
+    THETA_VALUES,
+)
+
+from repro.bench import experiments  # noqa: E402
+
+#: Figure name -> zero-argument callable running the sweep.
+SWEEPS = {
+    "fig8": lambda: experiments.fig8_index_construction(
+        thetas=THETA_VALUES, config=BENCH_CONFIG
+    ),
+    "fig9": lambda: experiments.fig9_overlap_vs_k(
+        k_values=K_VALUES, query_count=5, config=OJSP_CONFIG
+    ),
+    "fig10": lambda: experiments.fig10_overlap_vs_theta(
+        thetas=THETA_VALUES, k=5, query_count=5, config=OJSP_CONFIG
+    ),
+    "fig11": lambda: experiments.fig11_overlap_vs_q(
+        q_values=Q_VALUES, k=5, config=OJSP_CONFIG
+    ),
+    "fig12": lambda: experiments.fig12_overlap_vs_leaf_capacity(
+        capacities=LEAF_CAPACITIES, k=5, query_count=5, config=OJSP_CONFIG
+    ),
+    "fig15": lambda: experiments.fig15_coverage_vs_k(
+        k_values=K_VALUES, query_count=3, config=BENCH_CONFIG
+    ),
+    "fig16": lambda: experiments.fig16_coverage_vs_theta(
+        thetas=THETA_VALUES, query_count=3, config=BENCH_CONFIG
+    ),
+    "fig17": lambda: experiments.fig17_coverage_vs_q(
+        q_values=Q_VALUES, config=BENCH_CONFIG
+    ),
+    "fig18": lambda: experiments.fig18_coverage_vs_delta(
+        delta_values=DELTA_VALUES, query_count=3, config=BENCH_CONFIG
+    ),
+}
+
+DEFAULT_FIGURES = ("fig9", "fig10", "fig11", "fig12", "fig15")
+
+
+def run(figures: list[str], include_rows: bool, baseline: dict | None = None) -> dict:
+    """Run the selected sweeps and return the trajectory document."""
+    baseline_figures = (baseline or {}).get("figures", {})
+    results: dict[str, dict] = {}
+    for name in figures:
+        sweep = SWEEPS[name]
+        print(f"[run_bench] {name} ...", flush=True)
+        start = time.perf_counter()
+        rows = sweep()
+        wall_s = time.perf_counter() - start
+        entry: dict = {"wall_s": round(wall_s, 3)}
+        reference = baseline_figures.get(name, {}).get("wall_s")
+        if reference:
+            entry["seed_wall_s"] = reference
+            entry["speedup_vs_seed"] = round(reference / wall_s, 2)
+        if include_rows:
+            entry["rows"] = rows
+        results[name] = entry
+        print(f"[run_bench] {name}: {wall_s:.2f}s ({len(rows)} rows)", flush=True)
+    document = {
+        "schema": "repro-bench/v1",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "config": {
+            "bench": dataclasses.asdict(BENCH_CONFIG),
+            "ojsp": dataclasses.asdict(OJSP_CONFIG),
+        },
+        "figures": results,
+    }
+    if baseline is not None:
+        document["baseline"] = baseline
+    return document
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the trajectory JSON to PATH (default: print to stdout)",
+    )
+    parser.add_argument(
+        "--figures",
+        default=",".join(DEFAULT_FIGURES),
+        help=(
+            "comma-separated figure sweeps to run, or 'all' "
+            f"(known: {', '.join(sorted(SWEEPS))}; default: {','.join(DEFAULT_FIGURES)})"
+        ),
+    )
+    parser.add_argument(
+        "--no-rows",
+        action="store_true",
+        help="record only wall-clock per figure, not the measured rows",
+    )
+    parser.add_argument(
+        "--baseline-json",
+        metavar="PATH",
+        help=(
+            "reference measurement file ({'label': ..., 'figures': {name: "
+            "{'wall_s': ...}}}) used to fill in per-figure speedups, e.g. "
+            "benchmarks/baselines/seed.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    if args.figures.strip().lower() == "all":
+        figures = sorted(SWEEPS)
+    else:
+        figures = [name.strip() for name in args.figures.split(",") if name.strip()]
+    unknown = [name for name in figures if name not in SWEEPS]
+    if unknown:
+        parser.error(f"unknown figures: {', '.join(unknown)} (known: {', '.join(sorted(SWEEPS))})")
+
+    baseline = None
+    if args.baseline_json:
+        baseline = json.loads(Path(args.baseline_json).read_text())
+    document = run(figures, include_rows=not args.no_rows, baseline=baseline)
+    payload = json.dumps(document, indent=2, sort_keys=True)
+    if args.json:
+        Path(args.json).write_text(payload + "\n")
+        print(f"[run_bench] wrote {args.json}")
+    else:
+        print(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -117,10 +117,10 @@ def fig8_index_construction(
     config: ExperimentConfig | None = None,
 ) -> list[dict]:
     """Construction time (ms) and memory (bytes) of the five indexes per theta."""
-    base = config or ExperimentConfig()
+    base_bench = Workbench(config or ExperimentConfig())
     rows = []
     for theta in thetas:
-        bench = Workbench(base.with_theta(theta))
+        bench = base_bench.with_theta(theta)
         nodes = bench.all_nodes()
         for index_name, index_cls in DATASET_INDEX_CLASSES.items():
             index = index_cls()
@@ -201,10 +201,10 @@ def fig10_overlap_vs_theta(
     config: ExperimentConfig | None = None,
 ) -> list[dict]:
     """OJSP search time as the grid resolution grows (Fig. 10)."""
-    base = config or ExperimentConfig()
+    base_bench = Workbench(config or ExperimentConfig())
     rows = []
     for theta in thetas:
-        bench = Workbench(base.with_theta(theta))
+        bench = base_bench.with_theta(theta)
         methods = _overlap_methods(bench)
         queries = bench.query_nodes(query_count)
         timings = _run_overlap_workload(methods, queries, k)
@@ -355,10 +355,10 @@ def fig16_coverage_vs_theta(
     config: ExperimentConfig | None = None,
 ) -> list[dict]:
     """CJSP search time as the grid resolution grows (Fig. 16)."""
-    base = config or ExperimentConfig()
+    base_bench = Workbench(config or ExperimentConfig())
     rows = []
     for theta in thetas:
-        bench = Workbench(base.with_theta(theta))
+        bench = base_bench.with_theta(theta)
         methods = _coverage_methods(bench)
         queries = bench.query_nodes(query_count)
         timings = _run_coverage_workload(methods, queries, k, delta)

@@ -68,6 +68,18 @@ class Workbench:
         """The grid at the configuration's resolution."""
         return Grid(theta=self.config.theta)
 
+    def with_theta(self, theta: int) -> "Workbench":
+        """A workbench at a different resolution sharing this one's datasets.
+
+        Dataset generation does not depend on ``theta``, so theta sweeps can
+        reuse the (expensive) synthetic corpora and only re-discretise;
+        gridded nodes are cached per ``source@theta`` and stay correct.
+        """
+        sibling = Workbench(self.config.with_theta(theta))
+        sibling._datasets = self._datasets
+        sibling._nodes = self._nodes
+        return sibling
+
     def datasets_of(self, source_name: str) -> list[SpatialDataset]:
         """The synthetic datasets of ``source_name`` (cached)."""
         if source_name not in self._datasets:

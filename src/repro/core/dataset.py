@@ -19,13 +19,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
 from repro.core.errors import EmptyDatasetError
 from repro.core.geometry import BoundingBox, Point
 from repro.core.grid import Grid
+from repro.utils import cellsets
 
 __all__ = ["SpatialDataset", "CellSet", "DatasetNode"]
 
 DatasetId = str
+
+
+def _cached_cells_array(obj: "CellSet | DatasetNode") -> np.ndarray:
+    """Shared lazy cache: sorted int64 vector of ``obj.cells``, computed once."""
+    array = obj._cells_array
+    if array is None:
+        array = cellsets.as_cell_array(obj.cells)
+        object.__setattr__(obj, "_cells_array", array)
+    return array
 
 
 @dataclass(frozen=True, slots=True)
@@ -37,10 +49,15 @@ class SpatialDataset:
 
     @classmethod
     def from_coordinates(
-        cls, dataset_id: DatasetId, coordinates: Iterable[Sequence[float]]
+        cls, dataset_id: DatasetId, coordinates: "Iterable[Sequence[float]] | np.ndarray"
     ) -> "SpatialDataset":
         """Build a dataset from an iterable of ``(x, y)`` pairs."""
-        points = tuple(Point(float(x), float(y)) for x, y in coordinates)
+        if isinstance(coordinates, np.ndarray):
+            # ``tolist`` yields native floats directly, avoiding a per-row
+            # numpy scalar round-trip.
+            points = tuple(Point(x, y) for x, y in coordinates.tolist())
+        else:
+            points = tuple(Point(float(x), float(y)) for x, y in coordinates)
         return cls(dataset_id=dataset_id, points=points)
 
     def __post_init__(self) -> None:
@@ -59,8 +76,16 @@ class SpatialDataset:
         return BoundingBox.from_points(self.points)
 
     def to_cell_set(self, grid: Grid) -> "CellSet":
-        """Discretise the dataset onto ``grid`` (Definition 5)."""
-        return CellSet(dataset_id=self.dataset_id, cells=frozenset(grid.cell_ids_of(self.points)))
+        """Discretise the dataset onto ``grid`` (Definition 5).
+
+        Runs one vectorized discretisation pass over all points instead of a
+        per-point Python loop; the resulting sorted cell vector is cached on
+        the cell set so later set algebra can reuse it.
+        """
+        array = grid.cell_ids_of_batch(self.points)
+        cell_set = CellSet(dataset_id=self.dataset_id, cells=frozenset(array.tolist()))
+        object.__setattr__(cell_set, "_cells_array", array)
+        return cell_set
 
     def to_node(self, grid: Grid) -> "DatasetNode":
         """Build the DITS dataset node for this dataset under ``grid``."""
@@ -73,10 +98,18 @@ class CellSet:
 
     dataset_id: DatasetId
     cells: frozenset[int]
+    _cells_array: "np.ndarray | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.cells:
             raise EmptyDatasetError(f"cell set {self.dataset_id!r} is empty")
+
+    @property
+    def cells_array(self) -> np.ndarray:
+        """Sorted int64 vector of the cell IDs (computed once, then cached)."""
+        return _cached_cells_array(self)
 
     def __len__(self) -> int:
         return len(self.cells)
@@ -94,7 +127,12 @@ class CellSet:
 
     def overlap_with(self, other: "CellSet | frozenset[int] | set[int]") -> int:
         """Size of the intersection with another cell set."""
-        other_cells = other.cells if isinstance(other, CellSet) else other
+        if isinstance(other, CellSet):
+            if cellsets.use_vector():
+                return cellsets.intersection_size(self.cells_array, other.cells_array)
+            other_cells = other.cells
+        else:
+            other_cells = other
         return len(self.cells & other_cells)
 
     def union_with(self, other: "CellSet | frozenset[int] | set[int]") -> frozenset[int]:
@@ -143,6 +181,9 @@ class DatasetNode:
     point_count: int = 0
     pivot: Point = field(init=False)
     radius: float = field(init=False)
+    _cells_array: "np.ndarray | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.cells:
@@ -156,8 +197,10 @@ class DatasetNode:
     @classmethod
     def from_dataset(cls, dataset: SpatialDataset, grid: Grid) -> "DatasetNode":
         """Build a node from raw points: discretise, then take the cell MBR."""
-        cells = frozenset(grid.cell_ids_of(dataset.points))
-        return cls.from_cells(dataset.dataset_id, cells, grid, point_count=len(dataset))
+        array = grid.cell_ids_of_batch(dataset.points)
+        return cls._from_cell_array(
+            dataset.dataset_id, array, grid, point_count=len(dataset)
+        )
 
     @classmethod
     def from_cells(
@@ -168,17 +211,37 @@ class DatasetNode:
         point_count: int = 0,
     ) -> "DatasetNode":
         """Build a node directly from cell IDs under ``grid``."""
-        cell_set = frozenset(cells)
-        if not cell_set:
+        array = cellsets.as_cell_array(cells)
+        if array.size == 0:
             raise EmptyDatasetError(f"dataset node {dataset_id!r} has no cells")
-        coords = [grid.coords_of_cell(cell) for cell in cell_set]
-        rect = BoundingBox.from_points(coords)
-        return cls(
+        return cls._from_cell_array(dataset_id, array, grid, point_count)
+
+    @classmethod
+    def _from_cell_array(
+        cls,
+        dataset_id: DatasetId,
+        array: np.ndarray,
+        grid: Grid,
+        point_count: int = 0,
+    ) -> "DatasetNode":
+        """Build a node from a sorted cell vector (one batch MBR computation)."""
+        cols, rows = grid.cells_to_coords_batch(array)
+        rect = BoundingBox(
+            int(cols.min()), int(rows.min()), int(cols.max()), int(rows.max())
+        )
+        node = cls(
             dataset_id=dataset_id,
             rect=rect,
-            cells=cell_set,
-            point_count=point_count or len(cell_set),
+            cells=frozenset(array.tolist()),
+            point_count=point_count or int(array.size),
         )
+        object.__setattr__(node, "_cells_array", array)
+        return node
+
+    @property
+    def cells_array(self) -> np.ndarray:
+        """Sorted int64 vector of the cell IDs (computed once, then cached)."""
+        return _cached_cells_array(self)
 
     @classmethod
     def from_cell_set(cls, cell_set: CellSet, grid: Grid, point_count: int = 0) -> "DatasetNode":
@@ -195,7 +258,12 @@ class DatasetNode:
 
     def overlap_with(self, other: "DatasetNode | frozenset[int] | set[int]") -> int:
         """Intersection size with another node or raw cell set."""
-        other_cells = other.cells if isinstance(other, DatasetNode) else other
+        if isinstance(other, DatasetNode):
+            if cellsets.use_vector():
+                return cellsets.intersection_size(self.cells_array, other.cells_array)
+            other_cells = other.cells
+        else:
+            other_cells = other
         return len(self.cells & other_cells)
 
     def as_cell_set(self) -> CellSet:
@@ -207,7 +275,7 @@ class DatasetNode:
         return {
             "id": self.dataset_id,
             "rect": self.rect.as_tuple(),
-            "cells": sorted(self.cells),
+            "cells": self.cells_array.tolist(),
         }
 
     def merged_with(self, other: "DatasetNode", merged_id: DatasetId = "merged") -> "DatasetNode":

@@ -24,7 +24,7 @@ from scipy.spatial import cKDTree
 from repro.core.dataset import DatasetNode
 from repro.core.errors import EmptyDatasetError
 from repro.core.grid import Grid
-from repro.utils.zorder import zorder_decode
+from repro.utils.zorder import zorder_decode, zorder_decode_batch
 
 __all__ = [
     "cell_distance",
@@ -57,20 +57,25 @@ _KDTREE_PAIR_THRESHOLD = 2_048
 @lru_cache(maxsize=8_192)
 def _cell_coords_array(cells: frozenset[int]) -> np.ndarray:
     """Decoded ``(x, y)`` grid coordinates of ``cells`` as a float array (cached)."""
+    codes = np.fromiter(cells, dtype=np.int64, count=len(cells))
+    xs, ys = zorder_decode_batch(codes)
     coords = np.empty((len(cells), 2), dtype=np.float64)
-    for index, cell in enumerate(cells):
-        coords[index] = zorder_decode(cell)
+    coords[:, 0] = xs
+    coords[:, 1] = ys
     return coords
 
 
 def cell_set_distance(cells_a: Iterable[int], cells_b: Iterable[int]) -> float:
     """Exact distance between two cell-based datasets (Definition 6).
 
-    The distance is the minimum pairwise cell distance.  Small instances use
-    a direct double loop with an early exit at distance 0 (shared cell);
-    large instances build a KD-tree over the smaller set and run one
-    vectorised nearest-neighbour query, which keeps the multi-thousand-cell
-    datasets of the worldwide portals tractable.
+    The distance is the minimum pairwise cell distance.  Small instances
+    compute the full pairwise distance matrix in one vectorized pass (after
+    an early exit at distance 0 for shared cells); large instances build a
+    KD-tree over the smaller set and run one vectorised nearest-neighbour
+    query, which keeps the multi-thousand-cell datasets of the worldwide
+    portals tractable.  Grid coordinates are integers, so the squared
+    distances are exact in float64 and both paths return bit-identical
+    results.
     """
     set_a = cells_a if isinstance(cells_a, frozenset) else frozenset(cells_a)
     set_b = cells_b if isinstance(cells_b, frozenset) else frozenset(cells_b)
@@ -80,15 +85,11 @@ def cell_set_distance(cells_a: Iterable[int], cells_b: Iterable[int]) -> float:
         return 0.0
 
     if len(set_a) * len(set_b) <= _KDTREE_PAIR_THRESHOLD:
-        coords_b = [zorder_decode(cell) for cell in set_b]
-        best = math.inf
-        for cell in set_a:
-            ax, ay = zorder_decode(cell)
-            for bx, by in coords_b:
-                d = math.hypot(ax - bx, ay - by)
-                if d < best:
-                    best = d
-        return best
+        coords_a = _cell_coords_array(set_a)
+        coords_b = _cell_coords_array(set_b)
+        deltas = coords_a[:, None, :] - coords_b[None, :, :]
+        squared = np.einsum("ijk,ijk->ij", deltas, deltas)
+        return float(math.sqrt(squared.min()))
 
     # Build the tree over the smaller set and query with the larger one.
     if len(set_a) > len(set_b):

@@ -16,9 +16,16 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.core.errors import InvalidParameterError
 from repro.core.geometry import BoundingBox, Point
-from repro.utils.zorder import zorder_decode, zorder_encode
+from repro.utils.zorder import (
+    zorder_decode,
+    zorder_decode_batch,
+    zorder_encode,
+    zorder_encode_batch,
+)
 
 __all__ = ["Grid", "WORLD_SPACE"]
 
@@ -100,7 +107,58 @@ class Grid:
 
     def cell_ids_of(self, points: Iterable[Point | Sequence[float]]) -> set[int]:
         """Set of cell IDs covered by ``points`` (the cell-based dataset)."""
-        return {self.cell_id_of(point) for point in points}
+        return set(self.cell_ids_of_batch(points).tolist())
+
+    # ------------------------------------------------------------------ #
+    # Batch point <-> cell conversions (the discretisation hot path)
+    # ------------------------------------------------------------------ #
+    def cell_coords_of_batch(
+        self, xs: np.ndarray, ys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`cell_coords_of`: ``(cols, rows)`` int64 vectors.
+
+        Uses the same truncating division and border clamping as the scalar
+        path, so results are element-wise identical for finite coordinates.
+        Non-finite coordinates raise (the scalar path's ``int()`` would),
+        and clamping happens before the int64 cast so out-of-range values
+        land on the border cells instead of overflowing.
+        """
+        side = self.cells_per_side
+        cols_f = (xs - self.space.min_x) / self.cell_width
+        rows_f = (ys - self.space.min_y) / self.cell_height
+        if not (np.isfinite(cols_f).all() and np.isfinite(rows_f).all()):
+            raise ValueError("point coordinates must be finite")
+        cols = np.clip(cols_f, 0, side - 1).astype(np.int64)
+        rows = np.clip(rows_f, 0, side - 1).astype(np.int64)
+        return cols, rows
+
+    def cell_ids_of_batch(
+        self, points: "Iterable[Point | Sequence[float]] | np.ndarray"
+    ) -> np.ndarray:
+        """Sorted unique int64 vector of the cell IDs covered by ``points``.
+
+        This is the batch form of :meth:`cell_ids_of` (one vectorized
+        discretisation pass instead of a per-point Python loop) and the
+        canonical way to build a cell-based dataset.
+        """
+        xs, ys = _points_to_arrays(points)
+        if xs.size == 0:
+            return np.empty(0, dtype=np.int64)
+        cols, rows = self.cell_coords_of_batch(xs, ys)
+        return np.unique(zorder_encode_batch(cols, rows))
+
+    def cells_to_coords_batch(self, cell_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`coords_of_cell` over a cell-ID vector."""
+        cell_ids = np.asarray(cell_ids)
+        if cell_ids.size:
+            lowest = int(cell_ids.min())
+            highest = int(cell_ids.max())
+            if lowest < 0 or highest >= self.total_cells:
+                bad = lowest if lowest < 0 else highest
+                raise InvalidParameterError(
+                    f"cell id {bad} outside grid with {self.total_cells} cells"
+                )
+        return zorder_decode_batch(cell_ids)
 
     def coords_of_cell(self, cell_id: int) -> tuple[int, int]:
         """Grid coordinates ``(X, Y)`` of ``cell_id``."""
@@ -191,3 +249,32 @@ class Grid:
             raise InvalidParameterError(
                 f"cell id {cell_id} outside grid with {self.total_cells} cells"
             )
+
+
+def _points_to_arrays(
+    points: "Iterable[Point | Sequence[float]] | np.ndarray",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split points into ``(xs, ys)`` float64 vectors without a per-point branch."""
+    if isinstance(points, np.ndarray):
+        if points.size == 0:
+            return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.float64)
+        array = points.astype(np.float64, copy=False).reshape(-1, 2)
+        return np.ascontiguousarray(array[:, 0]), np.ascontiguousarray(array[:, 1])
+    pts = points if isinstance(points, (list, tuple)) else list(points)
+    count = len(pts)
+    if count == 0:
+        return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.float64)
+    try:
+        if isinstance(pts[0], Point):
+            xs = np.fromiter((p.x for p in pts), dtype=np.float64, count=count)
+            ys = np.fromiter((p.y for p in pts), dtype=np.float64, count=count)
+        else:
+            xs = np.fromiter((p[0] for p in pts), dtype=np.float64, count=count)
+            ys = np.fromiter((p[1] for p in pts), dtype=np.float64, count=count)
+    except (AttributeError, TypeError, IndexError):
+        # Mixed Point/sequence input: fall back to a per-point branch.
+        xs = np.empty(count, dtype=np.float64)
+        ys = np.empty(count, dtype=np.float64)
+        for i, p in enumerate(pts):
+            xs[i], ys[i] = (p.x, p.y) if isinstance(p, Point) else (p[0], p[1])
+    return xs, ys

@@ -16,6 +16,7 @@ seed.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -53,21 +54,31 @@ def generate_route_dataset(
     """
     extent = max(region.width, region.height)
     step = extent * step_fraction
-    start = np.array(
-        [
-            rng.uniform(region.min_x, region.max_x),
-            rng.uniform(region.min_y, region.max_y),
-        ]
-    )
-    heading = rng.uniform(0.0, 2.0 * np.pi)
+    x = float(rng.uniform(region.min_x, region.max_x))
+    y = float(rng.uniform(region.min_y, region.max_y))
+    heading = float(rng.uniform(0.0, 2.0 * np.pi))
+    # One vectorized draw consumes the identical RNG stream as ``length``
+    # scalar draws; the walk itself runs on Python floats (the clamp makes
+    # it inherently sequential) with the same IEEE double arithmetic as the
+    # original per-step numpy scalars.
+    turns = rng.normal(0.0, 0.35, size=length).tolist()
+    min_x, max_x = region.min_x, region.max_x
+    min_y, max_y = region.min_y, region.max_y
     points = np.empty((length, 2), dtype=float)
-    position = start
-    for i in range(length):
-        points[i] = position
-        heading += rng.normal(0.0, 0.35)
-        position = position + step * np.array([np.cos(heading), np.sin(heading)])
-        position[0] = np.clip(position[0], region.min_x, region.max_x)
-        position[1] = np.clip(position[1], region.min_y, region.max_y)
+    for i, turn in enumerate(turns):
+        points[i, 0] = x
+        points[i, 1] = y
+        heading += turn
+        x = x + step * math.cos(heading)
+        y = y + step * math.sin(heading)
+        if x < min_x:
+            x = min_x
+        elif x > max_x:
+            x = max_x
+        if y < min_y:
+            y = min_y
+        elif y > max_y:
+            y = max_y
     return SpatialDataset.from_coordinates(dataset_id, _clamp_points(points, region))
 
 

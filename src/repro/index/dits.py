@@ -93,9 +93,20 @@ class InternalNode(TreeNode):
 
 
 class LeafNode(TreeNode):
-    """A DITS-L leaf holding dataset nodes and their inverted index (Definition 14)."""
+    """A DITS-L leaf holding dataset nodes and their inverted index (Definition 14).
 
-    __slots__ = ("entries", "inverted", "capacity")
+    The posting list of each cell is a *counted* mapping ``dataset id -> 1``
+    (an insertion-ordered set with O(1) membership and removal) rather than a
+    plain list: iterating it yields the dataset IDs exactly like the list
+    did, ``len()`` still gives the posting count, but ``remove_entry`` no
+    longer pays an O(postings) ``list.remove`` per cell.
+
+    Leaves additionally expose :attr:`full_cells` — the cells whose posting
+    list contains *every* dataset of the leaf — so the Lemma 3 lower bound
+    is one set intersection per query instead of a per-cell posting scan.
+    """
+
+    __slots__ = ("entries", "inverted", "capacity", "_full_cells")
 
     def __init__(
         self,
@@ -107,7 +118,8 @@ class LeafNode(TreeNode):
         super().__init__(rect, parent)
         self.entries = list(entries)
         self.capacity = capacity
-        self.inverted: dict[int, list[str]] = {}
+        self.inverted: dict[int, dict[str, int]] = {}
+        self._full_cells: set[int] | None = None
         self.rebuild_inverted()
 
     def is_leaf(self) -> bool:
@@ -116,31 +128,65 @@ class LeafNode(TreeNode):
     def __len__(self) -> int:
         return len(self.entries)
 
+    @property
+    def full_cells(self) -> set[int]:
+        """Cells posted by every dataset of the leaf (Lemma 3 support set)."""
+        cached = self._full_cells
+        if cached is None:
+            size = len(self.entries)
+            cached = {
+                cell
+                for cell, postings in self.inverted.items()
+                if len(postings) == size
+            }
+            self._full_cells = cached
+        return cached
+
     def rebuild_inverted(self) -> None:
         """Recompute the cell-ID -> dataset-ID posting lists from the entries."""
-        inverted: dict[int, list[str]] = {}
+        inverted: dict[int, dict[str, int]] = {}
         for entry in self.entries:
+            dataset_id = entry.dataset_id
             for cell in entry.cells:
-                inverted.setdefault(cell, []).append(entry.dataset_id)
+                postings = inverted.get(cell)
+                if postings is None:
+                    inverted[cell] = {dataset_id: 1}
+                else:
+                    postings[dataset_id] = 1
         self.inverted = inverted
+        self._full_cells = None
 
     def add_entry(self, node: DatasetNode) -> None:
         """Append a dataset node and extend the posting lists."""
         self.entries.append(node)
+        dataset_id = node.dataset_id
+        inverted = self.inverted
         for cell in node.cells:
-            self.inverted.setdefault(cell, []).append(node.dataset_id)
+            postings = inverted.get(cell)
+            if postings is None:
+                inverted[cell] = {dataset_id: 1}
+            else:
+                postings[dataset_id] = 1
+        self._full_cells = None
 
     def remove_entry(self, dataset_id: str) -> DatasetNode:
-        """Remove the entry with ``dataset_id`` and shrink the posting lists."""
+        """Remove the entry with ``dataset_id`` and shrink the posting lists.
+
+        O(cells of the removed dataset): the counted postings make each
+        per-cell removal a hash delete instead of a list scan.
+        """
         for position, entry in enumerate(self.entries):
             if entry.dataset_id == dataset_id:
                 removed = self.entries.pop(position)
+                inverted = self.inverted
                 for cell in removed.cells:
-                    postings = self.inverted.get(cell, [])
-                    if dataset_id in postings:
-                        postings.remove(dataset_id)
+                    postings = inverted.get(cell)
+                    if postings is None:
+                        continue
+                    postings.pop(dataset_id, None)
                     if not postings:
-                        self.inverted.pop(cell, None)
+                        del inverted[cell]
+                self._full_cells = None
                 return removed
         raise DatasetNotFoundError(dataset_id)
 
@@ -168,6 +214,7 @@ class DITSLocalIndex(DatasetIndex):
         self.leaf_capacity = leaf_capacity
         self._root: TreeNode | None = None
         self._leaf_of: dict[str, LeafNode] = {}
+        self._leaf_ordinals: dict[int, int] | None = None
 
     # ------------------------------------------------------------------ #
     # Construction (Algorithm 1, top-down median split)
@@ -185,6 +232,7 @@ class DITSLocalIndex(DatasetIndex):
 
     def _rebuild(self) -> None:
         self._leaf_of = {}
+        self._leaf_ordinals = None
         entries = list(self._nodes.values())
         self._root = self._build_subtree(entries, parent=None) if entries else None
 
@@ -212,6 +260,7 @@ class DITSLocalIndex(DatasetIndex):
     # Maintenance (Appendix IX-C)
     # ------------------------------------------------------------------ #
     def _insert_structure(self, node: DatasetNode) -> None:
+        self._leaf_ordinals = None
         if self._root is None:
             leaf = LeafNode(node.rect, [node], self.leaf_capacity, parent=None)
             self._root = leaf
@@ -227,6 +276,7 @@ class DITSLocalIndex(DatasetIndex):
             self._refit_upwards(leaf)
 
     def _delete_structure(self, node: DatasetNode) -> None:
+        self._leaf_ordinals = None
         leaf = self._leaf_of.pop(node.dataset_id, None)
         if leaf is None:
             raise DatasetNotFoundError(node.dataset_id)
@@ -238,6 +288,7 @@ class DITSLocalIndex(DatasetIndex):
             self._remove_empty_leaf(leaf)
 
     def _update_structure(self, old: DatasetNode, new: DatasetNode) -> None:
+        self._leaf_ordinals = None
         leaf = self._leaf_of.get(old.dataset_id)
         if leaf is None:
             raise DatasetNotFoundError(old.dataset_id)
@@ -325,6 +376,27 @@ class DITSLocalIndex(DatasetIndex):
                 assert isinstance(node, InternalNode)
                 stack.append(node.right)
                 stack.append(node.left)
+
+    def leaf_ordinals(self) -> dict[int, int]:
+        """Stable left-to-right ordinal of every leaf, keyed by ``id(leaf)``.
+
+        Ordinals follow the left-to-right leaf order of :meth:`leaves` and
+        are recomputed lazily after any structural change, so they are
+        deterministic across runs of the same build sequence (unlike raw
+        ``id()`` values).
+        """
+        ordinals = self._leaf_ordinals
+        if ordinals is None:
+            ordinals = {id(leaf): ordinal for ordinal, leaf in enumerate(self.leaves())}
+            self._leaf_ordinals = ordinals
+        return ordinals
+
+    def leaf_ordinal(self, leaf: LeafNode) -> int:
+        """Left-to-right ordinal of ``leaf`` in the current tree."""
+        try:
+            return self.leaf_ordinals()[id(leaf)]
+        except KeyError as exc:
+            raise ValueError("leaf does not belong to this index") from exc
 
     def leaf_for(self, dataset_id: str) -> LeafNode:
         """The leaf currently storing ``dataset_id``."""

@@ -32,10 +32,16 @@ class STS3Index(DatasetIndex):
     # DatasetIndex hooks
     # ------------------------------------------------------------------ #
     def _rebuild(self) -> None:
-        self._postings = {}
+        postings: dict[int, set[str]] = {}
         for node in self._nodes.values():
+            dataset_id = node.dataset_id
             for cell in node.cells:
-                self._postings.setdefault(cell, set()).add(node.dataset_id)
+                cell_postings = postings.get(cell)
+                if cell_postings is None:
+                    postings[cell] = {dataset_id}
+                else:
+                    cell_postings.add(dataset_id)
+        self._postings = postings
 
     def _insert_structure(self, node: DatasetNode) -> None:
         for cell in node.cells:

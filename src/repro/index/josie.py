@@ -20,8 +20,7 @@ Josie being the slowest index to build at most resolutions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, NamedTuple
 
 from repro.core.dataset import DatasetNode
 from repro.index.base import DatasetIndex
@@ -30,13 +29,23 @@ from repro.utils.heaps import BoundedTopK
 __all__ = ["JosieIndex", "Posting"]
 
 
-@dataclass(frozen=True, slots=True)
-class Posting:
-    """One posting: dataset ID, the token's rank within the dataset, and the dataset size."""
+class Posting(NamedTuple):
+    """One posting: dataset ID, the token's rank within the dataset, and the dataset size.
+
+    A named tuple rather than a dataclass: index construction creates one
+    posting per (cell, dataset) occurrence — millions at benchmark scale —
+    and tuple allocation is measurably cheaper while keeping the same
+    attribute API.
+    """
 
     dataset_id: str
     position: int
     size: int
+
+
+def _posting_order(posting: Posting) -> tuple[int, str]:
+    """Global posting order: dataset size first, ID as the tie-break."""
+    return (posting.size, posting.dataset_id)
 
 
 class JosieIndex(DatasetIndex):
@@ -54,14 +63,19 @@ class JosieIndex(DatasetIndex):
     # ------------------------------------------------------------------ #
     def _rebuild(self) -> None:
         self._postings = {}
-        for node in self._nodes.values():
+        # Adding datasets in global (size, id) posting order means every
+        # posting list is appended already sorted, so the per-list sorts
+        # the incremental insert path needs collapse to no-ops here.
+        for node in sorted(
+            self._nodes.values(), key=lambda n: (len(n.cells), n.dataset_id)
+        ):
             self._add_postings(node)
-        self._sort_postings()
+        self._refresh_frequencies()
 
     def _insert_structure(self, node: DatasetNode) -> None:
         self._add_postings(node)
         for cell in node.cells:
-            self._postings[cell].sort(key=lambda p: (p.size, p.dataset_id))
+            self._postings[cell].sort(key=_posting_order)
         self._refresh_frequencies()
 
     def _delete_structure(self, node: DatasetNode) -> None:
@@ -75,17 +89,17 @@ class JosieIndex(DatasetIndex):
         self._refresh_frequencies()
 
     def _add_postings(self, node: DatasetNode) -> None:
-        sorted_cells = sorted(node.cells)
+        sorted_cells = node.cells_array.tolist()  # already sorted + unique
         size = len(sorted_cells)
+        dataset_id = node.dataset_id
+        postings = self._postings
         for position, cell in enumerate(sorted_cells):
-            self._postings.setdefault(cell, []).append(
-                Posting(dataset_id=node.dataset_id, position=position, size=size)
-            )
-
-    def _sort_postings(self) -> None:
-        for postings in self._postings.values():
-            postings.sort(key=lambda p: (p.size, p.dataset_id))
-        self._refresh_frequencies()
+            entry = Posting(dataset_id=dataset_id, position=position, size=size)
+            cell_postings = postings.get(cell)
+            if cell_postings is None:
+                postings[cell] = [entry]
+            else:
+                cell_postings.append(entry)
 
     def _refresh_frequencies(self) -> None:
         self._token_frequency = {cell: len(postings) for cell, postings in self._postings.items()}

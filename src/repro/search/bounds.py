@@ -28,17 +28,18 @@ __all__ = ["leaf_intersection_bounds", "leaf_upper_bound", "leaf_lower_bound"]
 def leaf_intersection_bounds(leaf: LeafNode, query_cells: Iterable[int]) -> tuple[int, int]:
     """Return ``(lower, upper)`` intersection bounds between ``leaf`` and the query.
 
-    The upper bound is one C-level set intersection between the query cells
-    and the inverted index's key set; the lower bound then only inspects the
-    (typically few) shared cells.
+    Both bounds are C-level set intersections: the upper bound intersects
+    the query cells with the inverted index's key set, the lower bound
+    intersects the shared cells with the leaf's precomputed
+    :attr:`~repro.index.dits.LeafNode.full_cells` — no per-cell posting-list
+    inspection remains.
     """
-    inverted = leaf.inverted
-    leaf_size = len(leaf.entries)
     query_set = query_cells if isinstance(query_cells, (set, frozenset)) else set(query_cells)
-    shared = query_set & inverted.keys()
+    shared = query_set & leaf.inverted.keys()
     upper = len(shared)
-    lower = sum(1 for cell in shared if len(inverted[cell]) == leaf_size)
-    return lower, upper
+    if upper == 0:
+        return 0, 0
+    return len(shared & leaf.full_cells), upper
 
 
 def leaf_upper_bound(leaf: LeafNode, query_cells: Iterable[int]) -> int:
@@ -49,7 +50,5 @@ def leaf_upper_bound(leaf: LeafNode, query_cells: Iterable[int]) -> int:
 
 def leaf_lower_bound(leaf: LeafNode, query_cells: Iterable[int]) -> int:
     """Lemma 3 lower bound only."""
-    inverted = leaf.inverted
-    leaf_size = len(leaf.entries)
     query_set = query_cells if isinstance(query_cells, (set, frozenset)) else set(query_cells)
-    return sum(1 for cell in query_set & inverted.keys() if len(inverted[cell]) == leaf_size)
+    return len(query_set & leaf.full_cells)

@@ -19,17 +19,30 @@ greedy baseline:
 * **Coverage-size filter** — a candidate whose total cell count does not
   exceed the best marginal gain found so far in the current iteration cannot
   win it, so its exact marginal gain is never computed (Algorithm 3 line 6).
+
+Two further accelerations are layered on top without changing any result:
+
+* **Connectivity cache** — the merged node only ever *grows*, so the
+  distance from any dataset to it is monotonically non-increasing across
+  iterations.  A dataset found connected once therefore stays connected;
+  its (potentially expensive) exact distance check is never repeated.
+* **Merge-kernel gains** — with the vectorized cell-set backend the covered
+  set is a sorted cell vector, marginal gains are ``difference_size`` merge
+  kernels and the covered set is advanced with one vectorized union per
+  iteration, instead of rebuilding Python set differences/unions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Container
 
 from repro.core.dataset import DatasetNode
 from repro.core.distance import exact_node_distance, node_distance_bounds
 from repro.core.errors import InvalidParameterError
 from repro.core.problems import CoverageQuery, CoverageResult, ScoredDataset
 from repro.index.dits import DITSLocalIndex, InternalNode, LeafNode, TreeNode
+from repro.utils import cellsets
 
 __all__ = ["CoverageSearch", "CoverageSearchStats", "find_connected_nodes"]
 
@@ -52,6 +65,7 @@ def find_connected_nodes(
     delta: float,
     exclude: set[str] | None = None,
     stats: CoverageSearchStats | None = None,
+    known_connected: Container[str] | None = None,
 ) -> list[DatasetNode]:
     """FindConnectSet (Algorithm 3, lines 14-26): datasets within ``delta`` of ``query``.
 
@@ -59,10 +73,17 @@ def find_connected_nodes(
     subtrees are accepted or rejected wholesale whenever the bounds are
     decisive and only the remaining datasets pay an exact distance
     computation.  ``exclude`` removes datasets already in the result set.
+
+    ``known_connected`` names datasets already proven connected to a node
+    whose cells are a subset of ``query``'s (CoverageSearch's previous merged
+    node): their distance to ``query`` can only have shrunk, so they are
+    accepted without re-checking.  Passing it never changes the result set,
+    only the amount of distance work.
     """
     if delta < 0:
         raise InvalidParameterError(f"delta must be non-negative, got {delta}")
     excluded = exclude or set()
+    known = known_connected if known_connected is not None else ()
     connected: list[DatasetNode] = []
     stack: list[TreeNode] = [root]
     while stack:
@@ -84,6 +105,9 @@ def find_connected_nodes(
             assert isinstance(node, LeafNode)
             for entry in node.entries:
                 if entry.dataset_id in excluded:
+                    continue
+                if entry.dataset_id in known:
+                    connected.append(entry)
                     continue
                 entry_lower, entry_upper = node_distance_bounds(entry, query)
                 if entry_lower > delta:
@@ -149,15 +173,27 @@ class CoverageSearch:
                 entries=(), total_coverage=len(query.cells), query_coverage=len(query.cells)
             )
 
+        use_vector = cellsets.use_vector()
         merged = query
-        covered: set[int] = set(query.cells)
+        covered: set[int] = set() if use_vector else set(query.cells)
+        covered_array = query.cells_array if use_vector else None
         chosen_ids: set[str] = set()
+        # Datasets proven connected in an earlier iteration stay connected
+        # (the merged node only grows), so their distance work is never paid
+        # twice.
+        connected_ids: set[str] = set()
 
         for _ in range(k):
             stats.iterations += 1
             candidates = find_connected_nodes(
-                self._index.root, merged, delta, exclude=chosen_ids, stats=stats
+                self._index.root,
+                merged,
+                delta,
+                exclude=chosen_ids,
+                stats=stats,
+                known_connected=connected_ids,
             )
+            connected_ids.update(candidate.dataset_id for candidate in candidates)
             best_node: DatasetNode | None = None
             best_gain = 0
             # Sort by descending cell count so the size filter (|S_D| > tau)
@@ -169,7 +205,10 @@ class CoverageSearch:
                     stats.gain_skips += 1
                     continue
                 stats.gain_evaluations += 1
-                gain = len(candidate.cells - covered)
+                if use_vector:
+                    gain = cellsets.difference_size(candidate.cells_array, covered_array)
+                else:
+                    gain = len(candidate.cells - covered)
                 if gain > best_gain or (
                     gain == best_gain
                     and gain > 0
@@ -185,14 +224,18 @@ class CoverageSearch:
                 # greedy objective.
                 break
             chosen_ids.add(best_node.dataset_id)
-            covered |= best_node.cells
+            if use_vector:
+                covered_array = cellsets.union(covered_array, best_node.cells_array)
+            else:
+                covered |= best_node.cells
             entries.append(
                 ScoredDataset(dataset_id=best_node.dataset_id, score=float(best_gain))
             )
             merged = merged.merged_with(best_node, merged_id="__merged_query__")
 
+        total_coverage = int(covered_array.size) if use_vector else len(covered)
         return CoverageResult(
             entries=tuple(entries),
-            total_coverage=len(covered),
+            total_coverage=total_coverage,
             query_coverage=len(query.cells),
         )

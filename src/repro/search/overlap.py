@@ -9,10 +9,14 @@ The algorithm has a filter phase and a verification phase:
    whose upper bound cannot beat the lower bounds of ``k`` already-collected
    leaves is discarded in batch.
 
-2. **Verify** — for each candidate leaf, compute exact intersections of its
-   datasets with the query by scanning the leaf's posting lists (each shared
-   query cell contributes one count per posted dataset), then maintain a
-   bounded top-``k`` result queue.
+2. **Verify** — candidate leaves are drained from a max-heap ordered by upper
+   bound, so verification stops at the first leaf that provably cannot beat
+   the current k-th best overlap (the incremental verification threshold).
+   Within a leaf, exact per-dataset overlaps are accumulated from the
+   counted posting lists of the shared query cells and pushed into the
+   bounded top-``k`` result queue in the same scan order as the seed
+   implementation, so results (including tie-breaks) are unchanged and
+   identical across cell-set backends.
 
 The result is exact: only datasets that provably cannot reach the top-``k``
 are pruned.
@@ -20,6 +24,7 @@ are pruned.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 from repro.core.dataset import DatasetNode
@@ -41,6 +46,8 @@ class OverlapSearchStats:
     pruned_by_bounds: int = 0
     candidate_leaves: int = 0
     verified_datasets: int = 0
+    #: Stable left-to-right ordinals (see ``DITSLocalIndex.leaf_ordinals``)
+    #: of the candidate leaves that survived filtering, sorted ascending.
     candidate_leaf_ids: list[int] = field(default_factory=list)
 
 
@@ -90,7 +97,8 @@ class OverlapSearch:
     # ------------------------------------------------------------------ #
     def _filter_leaves(
         self, query: DatasetNode, k: int, stats: OverlapSearchStats
-    ) -> list[_CandidateLeaf]:
+    ) -> list[tuple[int, int, _CandidateLeaf]]:
+        """Surviving candidate leaves as a ``(-upper, seq, candidate)`` heap."""
         query_rect = query.rect
         query_cells = query.cells
         candidates: list[_CandidateLeaf] = []
@@ -126,25 +134,34 @@ class OverlapSearch:
                 stats.pruned_by_bounds += 1
                 continue
             surviving.append(candidate)
-        surviving.sort(key=lambda c: -c.upper)
         stats.candidate_leaves = len(surviving)
-        stats.candidate_leaf_ids = [id(c.leaf) for c in surviving]
-        return surviving
+        if surviving:
+            ordinals = self._index.leaf_ordinals()
+            stats.candidate_leaf_ids = sorted(
+                ordinals[id(candidate.leaf)] for candidate in surviving
+            )
+        # Max-heap keyed by upper bound; the sequence number keeps ties in
+        # discovery order, matching the stable sort the heap replaces, while
+        # leaves pruned by the verification cutoff are never sorted at all.
+        heap = [(-candidate.upper, seq, candidate) for seq, candidate in enumerate(surviving)]
+        heapq.heapify(heap)
+        return heap
 
     # ------------------------------------------------------------------ #
-    # Phase 2: verification via leaf posting lists
+    # Phase 2: verification via leaf posting lists / merge kernels
     # ------------------------------------------------------------------ #
     def _verify(
         self,
         query: DatasetNode,
         k: int,
-        candidates: list[_CandidateLeaf],
+        candidates: list[tuple[int, int, _CandidateLeaf]],
         stats: OverlapSearchStats,
     ) -> OverlapResult:
         heap: BoundedTopK[str] = BoundedTopK(k)
         query_cells = query.cells
-        for candidate in candidates:
-            # Candidates are ordered by decreasing upper bound, so once the
+        while candidates:
+            _, _, candidate = heapq.heappop(candidates)
+            # Candidates pop in decreasing upper-bound order, so once the
             # current leaf's upper bound cannot beat the established k-th
             # overlap, no later leaf can either.
             if heap.is_full() and candidate.upper < heap.kth_score():
@@ -171,7 +188,8 @@ class OverlapSearch:
         """Exact per-dataset intersection counts computed from the posting lists.
 
         One C-level set intersection finds the cells the query shares with the
-        leaf; only those cells' posting lists are scanned.
+        leaf; only those cells' posting lists are scanned.  Counts are keyed
+        in scan order, preserving the seed's tie-breaking behaviour.
         """
         counts: dict[str, int] = {}
         inverted = leaf.inverted
@@ -180,19 +198,27 @@ class OverlapSearch:
                 counts[dataset_id] = counts.get(dataset_id, 0) + 1
         return counts
 
-
 def _kth_lower_bound(candidates: list[_CandidateLeaf], k: int) -> int:
     """The k-th largest lower bound achievable across candidate leaves.
 
     Every candidate leaf guarantees ``len(leaf.entries)`` datasets with
-    overlap at least ``leaf.lower``; collecting those guarantees and taking
-    the k-th largest yields a threshold below which a leaf's *upper* bound
-    proves it cannot contribute to the final top-k.
+    overlap at least ``leaf.lower``.  Since every leaf holds at least one
+    dataset, the k-th largest guaranteed overlap is found within the ``k``
+    candidates with the largest lower bounds, so ``heapq.nlargest`` over the
+    ``(lower, count)`` pairs replaces the seed's O(n·f) materialization of
+    one list element per guaranteed dataset.
     """
-    guaranteed: list[int] = []
-    for candidate in candidates:
-        guaranteed.extend([candidate.lower] * len(candidate.leaf.entries))
-    if len(guaranteed) < k:
+    if not candidates:
         return 0
-    guaranteed.sort(reverse=True)
-    return guaranteed[k - 1]
+    if sum(len(candidate.leaf.entries) for candidate in candidates) < k:
+        return 0
+    remaining = k
+    best_pairs = heapq.nlargest(
+        min(k, len(candidates)),
+        ((candidate.lower, len(candidate.leaf.entries)) for candidate in candidates),
+    )
+    for lower, count in best_pairs:
+        remaining -= count
+        if remaining <= 0:
+            return lower
+    return 0
