@@ -28,6 +28,23 @@ from repro.bench.harness import ExperimentConfig, Workbench
 _BENCH_DIR = Path(__file__).resolve().parent
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _corpus_cache_env():
+    """Point the on-disk corpus cache at ``benchmarks/.cache`` for sweeps.
+
+    Scoped to this directory's tests (conftest fixtures do not reach
+    ``tests/``) and restored afterwards, so the unit lane keeps generating
+    corpora from scratch; export ``REPRO_CORPUS_CACHE=""`` to disable for
+    sweeps too.
+    """
+    previous = os.environ.get("REPRO_CORPUS_CACHE")
+    if previous is None:
+        os.environ["REPRO_CORPUS_CACHE"] = str(_BENCH_DIR / ".cache")
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CORPUS_CACHE", None)
+
+
 def pytest_collection_modifyitems(config, items):
     """Mark every benchmark in this directory ``sweep`` (and ``slow``).
 

@@ -35,12 +35,19 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import platform
 import sys
 import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+# Cache generated corpora between sweeps/runs (invalidated automatically when
+# the generation source changes); export REPRO_CORPUS_CACHE="" to disable.
+os.environ.setdefault(
+    "REPRO_CORPUS_CACHE", str(Path(__file__).resolve().parent / ".cache")
+)
 
 from conftest import (  # noqa: E402  (path set up above)
     BENCH_CONFIG,

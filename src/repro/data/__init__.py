@@ -13,8 +13,11 @@ scale (see DESIGN.md, "Substitutions").
   ``build_source_datasets`` to materialise them.
 * :mod:`repro.data.queries` — query workload sampling.
 * :mod:`repro.data.loaders` — CSV/JSON round-trips for datasets and sources.
+* :mod:`repro.data.corpus_cache` — on-disk cache of generated corpora keyed
+  by (config hash, seed, generator fingerprint).
 """
 
+from repro.data.corpus_cache import generator_fingerprint, load_or_generate
 from repro.data.generators import (
     DatasetGenerator,
     generate_cluster_dataset,
@@ -44,7 +47,9 @@ __all__ = [
     "generate_cluster_dataset",
     "generate_route_dataset",
     "generate_uniform_dataset",
+    "generator_fingerprint",
     "load_datasets_json",
+    "load_or_generate",
     "load_source_csv",
     "sample_queries",
     "save_datasets_json",

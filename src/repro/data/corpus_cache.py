@@ -1,0 +1,189 @@
+"""On-disk cache of generated synthetic corpora.
+
+Generating one source's corpus costs 0.6–1.2 s (the route generator is an
+inherently sequential random walk), and every benchmark sweep pays it again
+for each fresh process.  This module persists generated corpora as ``.npz``
+archives keyed by
+
+* a **config hash** over everything that determines the output — the profile
+  (name, region, counts, shape mixture), ``scale``, ``seed`` and
+  ``min_datasets`` — and
+* a **generator fingerprint**: a hash of the source code of
+  :mod:`repro.data.generators` and :mod:`repro.data.sources`, so editing the
+  generation logic invalidates every cached corpus automatically.
+
+Caching is off unless a cache directory is configured, either explicitly or
+via the ``REPRO_CORPUS_CACHE`` environment variable (the benchmark suite
+points it at ``benchmarks/.cache/``).  A cache hit restores datasets
+bit-identical to regeneration — point arrays round-trip through ``.npz``
+losslessly — which ``tests/data/test_corpus_cache.py`` asserts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import tempfile
+import zipfile
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.dataset import SpatialDataset
+
+__all__ = [
+    "cache_dir_from_env",
+    "corpus_cache_path",
+    "generator_fingerprint",
+    "load_corpus",
+    "load_or_generate",
+    "store_corpus",
+]
+
+#: Environment variable naming the cache directory; unset or empty disables.
+CACHE_ENV_VAR = "REPRO_CORPUS_CACHE"
+
+_fingerprint_cache: str | None = None
+
+
+def generator_fingerprint() -> str:
+    """Hash of the corpus-generation source code (16 hex chars, cached).
+
+    Covers every module whose behaviour shapes the generated point arrays:
+    the generators and profiles themselves plus the dataset/geometry types
+    the points flow through on construction.
+    """
+    global _fingerprint_cache
+    if _fingerprint_cache is None:
+        from repro.core import dataset, geometry
+        from repro.data import generators, sources
+
+        text = "".join(
+            inspect.getsource(module)
+            for module in (generators, sources, dataset, geometry)
+        )
+        _fingerprint_cache = hashlib.sha256(text.encode()).hexdigest()[:16]
+    return _fingerprint_cache
+
+
+def _coerce_dir(value: "Path | str | None") -> Path | None:
+    """Interpret a cache-directory setting; empty/"0"/"off"/"none" disable."""
+    if value is None:
+        return None
+    if isinstance(value, str):
+        value = value.strip()
+        if not value or value.lower() in ("0", "off", "none"):
+            return None
+    return Path(value)
+
+
+def cache_dir_from_env() -> Path | None:
+    """The cache directory named by ``REPRO_CORPUS_CACHE``, or ``None``."""
+    return _coerce_dir(os.environ.get(CACHE_ENV_VAR, ""))
+
+
+def corpus_cache_path(
+    cache_dir: Path,
+    profile: object,
+    scale: float,
+    seed: int,
+    min_datasets: int,
+) -> Path:
+    """The cache file for one ``(profile, scale, seed, min_datasets)`` corpus."""
+    config = {
+        "name": profile.name,
+        "region": profile.region.as_tuple(),
+        "dataset_count": profile.dataset_count,
+        "mean_dataset_size": profile.mean_dataset_size,
+        "route_share": profile.route_share,
+        "cluster_share": profile.cluster_share,
+        "scale": scale,
+        "seed": seed,
+        "min_datasets": min_datasets,
+    }
+    digest = hashlib.sha256(
+        json.dumps(config, sort_keys=True).encode()
+    ).hexdigest()[:16]
+    return cache_dir / f"{profile.name}-{digest}-{generator_fingerprint()}.npz"
+
+
+def store_corpus(path: Path, datasets: Sequence[SpatialDataset]) -> None:
+    """Persist ``datasets`` at ``path`` atomically (write temp file, rename)."""
+    ids = np.array([dataset.dataset_id for dataset in datasets])
+    sizes = np.array([len(dataset) for dataset in datasets], dtype=np.int64)
+    if datasets:
+        points = np.concatenate(
+            [
+                np.array([(p.x, p.y) for p in dataset.points], dtype=np.float64)
+                for dataset in datasets
+            ]
+        )
+    else:
+        points = np.empty((0, 2), dtype=np.float64)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".npz.tmp")
+    try:
+        with os.fdopen(handle, "wb") as tmp_file:
+            np.savez(tmp_file, ids=ids, sizes=sizes, points=points)
+        os.replace(tmp_name, path)
+    except BaseException:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
+        raise
+
+
+def load_corpus(path: Path) -> list[SpatialDataset] | None:
+    """Datasets stored at ``path``, or ``None`` if absent or unreadable."""
+    if not path.is_file():
+        return None
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            ids = archive["ids"]
+            sizes = archive["sizes"]
+            points = archive["points"]
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+        return None
+    if int(sizes.sum()) != points.shape[0]:
+        return None
+    datasets: list[SpatialDataset] = []
+    offset = 0
+    for dataset_id, size in zip(ids.tolist(), sizes.tolist()):
+        datasets.append(
+            SpatialDataset.from_coordinates(
+                str(dataset_id), points[offset : offset + size]
+            )
+        )
+        offset += size
+    return datasets
+
+
+def load_or_generate(
+    profile: object,
+    scale: float,
+    seed: int,
+    min_datasets: int,
+    generate: Callable[[], list[SpatialDataset]],
+    cache_dir: "Path | str | None" = None,
+) -> list[SpatialDataset]:
+    """Return the cached corpus if present, else generate and cache it.
+
+    ``cache_dir=None`` consults ``REPRO_CORPUS_CACHE``; caching is skipped
+    entirely when neither names a directory (an empty or ``"off"`` string
+    disables, same as the environment variable).
+    """
+    directory = _coerce_dir(cache_dir) if cache_dir is not None else cache_dir_from_env()
+    if directory is None:
+        return generate()
+    path = corpus_cache_path(directory, profile, scale, seed, min_datasets)
+    cached = load_corpus(path)
+    if cached is not None:
+        return cached
+    datasets = generate()
+    try:
+        store_corpus(path, datasets)
+    except OSError:
+        pass  # a read-only or full cache directory must never fail the run
+    return datasets

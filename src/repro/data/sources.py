@@ -100,6 +100,7 @@ def build_source_datasets(
     scale: float = 0.02,
     seed: int = 7,
     min_datasets: int = 20,
+    cache_dir: "str | None" = None,
 ) -> list[SpatialDataset]:
     """Materialise the datasets of one source profile.
 
@@ -117,15 +118,27 @@ def build_source_datasets(
     min_datasets:
         Lower bound on the generated dataset count so tiny scales still
         exercise the indexes.
+    cache_dir:
+        Directory for the on-disk corpus cache (see
+        :mod:`repro.data.corpus_cache`).  ``None`` consults the
+        ``REPRO_CORPUS_CACHE`` environment variable; when neither names a
+        directory every call regenerates from the seed.
     """
     if isinstance(profile, str):
         profile = SOURCE_PROFILES[profile]
     if scale <= 0:
         raise ValueError(f"scale must be positive, got {scale}")
     count = max(min_datasets, int(round(profile.dataset_count * scale)))
-    rng = np.random.default_rng(seed + _stable_hash(profile.name))
-    generator = profile.generator()
-    return generator.generate_many(count, rng, prefix=f"{profile.name}-D")
+
+    def generate() -> list[SpatialDataset]:
+        rng = np.random.default_rng(seed + _stable_hash(profile.name))
+        return profile.generator().generate_many(count, rng, prefix=f"{profile.name}-D")
+
+    from repro.data.corpus_cache import load_or_generate
+
+    return load_or_generate(
+        profile, scale, seed, min_datasets, generate, cache_dir=cache_dir
+    )
 
 
 def build_all_sources(

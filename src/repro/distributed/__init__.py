@@ -14,7 +14,8 @@ The framework mirrors Fig. 3 of the paper:
 """
 
 from repro.distributed.channel import ChannelStats, SimulatedChannel
-from repro.distributed.center import DataCenter
+from repro.distributed.center import DataCenter, DistributionPolicy
+from repro.distributed.executor import ExecutionPolicy, SourceDispatcher
 from repro.distributed.framework import MultiSourceFramework
 from repro.distributed.messages import (
     CoverageRequest,
@@ -31,9 +32,12 @@ __all__ = [
     "CoverageResponse",
     "DataCenter",
     "DataSource",
+    "DistributionPolicy",
+    "ExecutionPolicy",
     "MultiSourceFramework",
     "OverlapRequest",
     "OverlapResponse",
     "RootUpload",
     "SimulatedChannel",
+    "SourceDispatcher",
 ]

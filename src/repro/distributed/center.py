@@ -14,6 +14,12 @@ Section VI-A:
 Both strategies can be disabled independently, which is what the
 communication-cost benchmarks use to emulate the broadcast-everything
 baselines.
+
+Candidate sources answer independently (the framework of Fig. 3 is
+inherently parallel), so per-source request execution fans out over a thread
+pool governed by :class:`~repro.distributed.executor.ExecutionPolicy`.
+Responses are aggregated in candidate order regardless of completion order,
+so parallel and serial dispatch return bit-identical results and byte totals.
 """
 
 from __future__ import annotations
@@ -21,12 +27,16 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.core.connectivity import is_directly_connected
 from repro.core.dataset import DatasetNode
 from repro.core.errors import SourceNotFoundError
 from repro.core.geometry import BoundingBox
 from repro.core.grid import Grid
 from repro.core.problems import CoverageResult, OverlapResult, ScoredDataset
 from repro.distributed.channel import SimulatedChannel
+from repro.distributed.executor import ExecutionPolicy, SourceDispatcher
 from repro.distributed.messages import (
     CoverageRequest,
     CoverageResponse,
@@ -36,6 +46,7 @@ from repro.distributed.messages import (
 )
 from repro.distributed.source import DataSource
 from repro.index.dits_global import DITSGlobalIndex, SourceSummary
+from repro.utils import cellsets
 from repro.utils.heaps import BoundedTopK
 
 __all__ = ["DataCenter", "DistributionPolicy"]
@@ -49,6 +60,47 @@ class DistributionPolicy:
     clip_query: bool = True
 
 
+class _QueryCellView:
+    """Per-search cache of a query's sorted cell vector and decoded centres.
+
+    The sorted cell tuple (the no-clip request payload) is built once per
+    query instead of once per candidate source, and the geographic centres of
+    all query cells are batch-decoded lazily on the first clip so that every
+    candidate rectangle costs one numpy mask instead of a per-cell Python
+    ``cell_center``/``contains_point`` loop.
+    """
+
+    __slots__ = ("_grid", "_array", "_full", "_xs", "_ys")
+
+    def __init__(self, query: DatasetNode, grid: Grid) -> None:
+        self._grid = grid
+        self._array = query.cells_array  # sorted unique int64, cached on the node
+        self._full: tuple[int, ...] | None = None
+        self._xs: np.ndarray | None = None
+        self._ys: np.ndarray | None = None
+
+    @property
+    def full(self) -> tuple[int, ...]:
+        """All query cells in ascending order (the unclipped payload)."""
+        if self._full is None:
+            self._full = tuple(self._array.tolist())
+        return self._full
+
+    def clipped_to(self, geo_rect: BoundingBox) -> tuple[int, ...]:
+        """Query cells whose geographic centre falls inside ``geo_rect``."""
+        if self._xs is None:
+            self._xs, self._ys = self._grid.cell_centers_of_batch(self._array)
+        mask = (
+            (geo_rect.min_x <= self._xs)
+            & (self._xs <= geo_rect.max_x)
+            & (geo_rect.min_y <= self._ys)
+            & (self._ys <= geo_rect.max_y)
+        )
+        if mask.all():
+            return self.full
+        return tuple(self._array[mask].tolist())
+
+
 class DataCenter:
     """Coordinates multi-source joinable search over registered data sources."""
 
@@ -58,6 +110,7 @@ class DataCenter:
         channel: SimulatedChannel | None = None,
         policy: DistributionPolicy = DistributionPolicy(),
         global_leaf_capacity: int = 4,
+        execution: ExecutionPolicy | None = None,
     ) -> None:
         self.grid = grid
         self.channel = channel if channel is not None else SimulatedChannel()
@@ -65,6 +118,16 @@ class DataCenter:
         self._global_index = DITSGlobalIndex(leaf_capacity=global_leaf_capacity)
         self._sources: dict[str, DataSource] = {}
         self._query_counter = itertools.count()
+        self._dispatcher = SourceDispatcher(execution)
+
+    @property
+    def execution(self) -> ExecutionPolicy:
+        """The per-source dispatch policy in effect."""
+        return self._dispatcher.policy
+
+    def close(self) -> None:
+        """Release the dispatch thread pool (the center stays usable)."""
+        self._dispatcher.close()
 
     # ------------------------------------------------------------------ #
     # Source registration
@@ -124,22 +187,33 @@ class DataCenter:
         query_id = f"q{next(self._query_counter)}"
         query_geo_rect = self._grid_rect_to_geo(query.rect)
         candidates = self._candidate_sources(query_geo_rect, delta_geo=0.0)
+        cell_view = _QueryCellView(query, self.grid)
 
-        heap: BoundedTopK[tuple[str, str]] = BoundedTopK(k)
+        tasks: list[tuple[SourceSummary, OverlapRequest]] = []
         for summary in candidates:
-            source = self._sources[summary.source_id]
-            cells = self._clip_cells(query, summary.rect)
+            cells = (
+                cell_view.clipped_to(summary.rect)
+                if self.policy.clip_query
+                else cell_view.full
+            )
             if not cells:
                 continue
-            request = OverlapRequest(
-                query_id=query_id,
-                cells=tuple(sorted(cells)),
-                query_rect=query_geo_rect.as_tuple(),
-                k=k,
+            tasks.append(
+                (
+                    summary,
+                    OverlapRequest(
+                        query_id=query_id,
+                        cells=cells,
+                        query_rect=query_geo_rect.as_tuple(),
+                        k=k,
+                    ),
+                )
             )
-            self.channel.send(request, destination=summary.source_id)
-            response: OverlapResponse = source.handle_overlap(request, self.grid)
-            self.channel.send(response, destination=summary.source_id, to_center=True)
+
+        responses = self._dispatcher.map(self._execute_overlap, tasks)
+
+        heap: BoundedTopK[tuple[str, str]] = BoundedTopK(k)
+        for (summary, _request), response in zip(tasks, responses):
             for dataset_id, score in response.results:
                 heap.push(score, (summary.source_id, dataset_id))
 
@@ -148,6 +222,16 @@ class DataCenter:
             for score, (source_id, dataset_id) in heap.items()
         )
         return OverlapResult(entries=entries)
+
+    def _execute_overlap(
+        self, task: tuple[SourceSummary, OverlapRequest]
+    ) -> OverlapResponse:
+        summary, request = task
+        source = self._sources[summary.source_id]
+        self.channel.send(request, destination=summary.source_id)
+        response = source.handle_overlap(request, self.grid)
+        self.channel.send(response, destination=summary.source_id, to_center=True)
+        return response
 
     # ------------------------------------------------------------------ #
     # Coverage joinable search (CJSP)
@@ -165,28 +249,48 @@ class DataCenter:
         delta_geo = self._delta_to_geo(delta)
         query_geo_rect = self._grid_rect_to_geo(query.rect)
         candidates = self._candidate_sources(query_geo_rect, delta_geo=delta_geo)
+        cell_view = _QueryCellView(query, self.grid)
 
-        proposals: dict[str, tuple[str, frozenset[int]]] = {}
+        tasks: list[tuple[SourceSummary, CoverageRequest]] = []
         for summary in candidates:
-            source = self._sources[summary.source_id]
-            clip_rect = summary.rect.expanded(delta_geo)
-            cells = self._clip_cells(query, clip_rect)
+            cells = (
+                cell_view.clipped_to(summary.rect.expanded(delta_geo))
+                if self.policy.clip_query
+                else cell_view.full
+            )
             if not cells:
                 continue
-            request = CoverageRequest(
-                query_id=query_id,
-                cells=tuple(sorted(cells)),
-                query_rect=query_geo_rect.as_tuple(),
-                k=k,
-                delta=delta,
+            tasks.append(
+                (
+                    summary,
+                    CoverageRequest(
+                        query_id=query_id,
+                        cells=cells,
+                        query_rect=query_geo_rect.as_tuple(),
+                        k=k,
+                        delta=delta,
+                    ),
+                )
             )
-            self.channel.send(request, destination=summary.source_id)
-            response: CoverageResponse = source.handle_coverage(request, self.grid)
-            self.channel.send(response, destination=summary.source_id, to_center=True)
+
+        responses = self._dispatcher.map(self._execute_coverage, tasks)
+
+        proposals: dict[str, tuple[str, frozenset[int]]] = {}
+        for (summary, _request), response in zip(tasks, responses):
             for dataset_id, cell_tuple in response.selections:
                 proposals[dataset_id] = (summary.source_id, frozenset(cell_tuple))
 
         return self._aggregate_coverage(query, k, delta, proposals)
+
+    def _execute_coverage(
+        self, task: tuple[SourceSummary, CoverageRequest]
+    ) -> CoverageResponse:
+        summary, request = task
+        source = self._sources[summary.source_id]
+        self.channel.send(request, destination=summary.source_id)
+        response = source.handle_coverage(request, self.grid)
+        self.channel.send(response, destination=summary.source_id, to_center=True)
+        return response
 
     def _aggregate_coverage(
         self,
@@ -195,6 +299,16 @@ class DataCenter:
         delta: float,
         proposals: dict[str, tuple[str, frozenset[int]]],
     ) -> CoverageResult:
+        """Final greedy pass over the union of per-source proposals.
+
+        The result set only ever grows, so connectivity against it is
+        monotone: a candidate proven connected once stays connected, and a
+        candidate that failed against earlier members only needs testing
+        against the member added last round.  Marginal gains run on the
+        vectorized cell-set kernels instead of rebuilding
+        ``candidate.cells - covered`` frozensets each round.  Selections and
+        tie-breaks are identical to the exhaustive per-round rescan.
+        """
         candidate_nodes: dict[str, DatasetNode] = {}
         source_of: dict[str, str] = {}
         for dataset_id, (source_id, cells) in proposals.items():
@@ -203,37 +317,52 @@ class DataCenter:
             candidate_nodes[dataset_id] = DatasetNode.from_cells(dataset_id, cells, self.grid)
             source_of[dataset_id] = source_id
 
-        merged = query
-        covered: set[int] = set(query.cells)
+        use_vector = cellsets.use_vector()
+        covered: set[int] = set() if use_vector else set(query.cells)
+        covered_array = query.cells_array if use_vector else None
         entries: list[ScoredDataset] = []
         remaining = dict(candidate_nodes)
-        from repro.core.connectivity import is_directly_connected  # local import avoids a cycle
+        ordered_ids = sorted(remaining)
+        connected_ids: set[str] = set()
+        last_member = query
 
         for _ in range(k):
             best_id: str | None = None
             best_gain = 0
-            for dataset_id in sorted(remaining):
-                node = remaining[dataset_id]
-                if not is_directly_connected(node, merged, delta):
+            for dataset_id in ordered_ids:
+                node = remaining.get(dataset_id)
+                if node is None:
                     continue
-                gain = len(node.cells - covered)
+                if dataset_id not in connected_ids:
+                    if not is_directly_connected(node, last_member, delta):
+                        continue
+                    connected_ids.add(dataset_id)
+                if use_vector:
+                    gain = cellsets.difference_size(node.cells_array, covered_array)
+                else:
+                    gain = len(node.cells - covered)
                 if gain > best_gain:
                     best_gain = gain
                     best_id = dataset_id
             if best_id is None or best_gain == 0:
                 break
             node = remaining.pop(best_id)
-            covered |= node.cells
-            merged = merged.merged_with(node, merged_id="__merged_query__")
+            connected_ids.discard(best_id)
+            if use_vector:
+                covered_array = cellsets.union(covered_array, node.cells_array)
+            else:
+                covered |= node.cells
+            last_member = node
             entries.append(
                 ScoredDataset(
                     dataset_id=best_id, score=float(best_gain), source_id=source_of[best_id]
                 )
             )
 
+        total_coverage = int(covered_array.size) if use_vector else len(covered)
         return CoverageResult(
             entries=tuple(entries),
-            total_coverage=len(covered),
+            total_coverage=total_coverage,
             query_coverage=len(query.cells),
         )
 
@@ -244,17 +373,6 @@ class DataCenter:
         if self.policy.route_to_candidates:
             return self._global_index.candidate_sources(query_geo_rect, delta_geo)
         return list(self._global_index.all_summaries())
-
-    def _clip_cells(self, query: DatasetNode, geo_rect: BoundingBox) -> list[int]:
-        """Cells of ``query`` whose geographic position falls inside ``geo_rect``."""
-        if not self.policy.clip_query:
-            return sorted(query.cells)
-        kept = []
-        for cell in query.cells:
-            center = self.grid.cell_center(cell)
-            if geo_rect.contains_point(center):
-                kept.append(cell)
-        return sorted(kept)
 
     def _grid_rect_to_geo(self, rect: BoundingBox) -> BoundingBox:
         return BoundingBox(

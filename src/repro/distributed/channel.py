@@ -7,10 +7,16 @@ in-process deployment: every message routed through :meth:`send` is measured
 with :func:`repro.utils.sizeof.encoded_size` and tallied per direction, and
 :meth:`transmission_time_ms` converts the byte total into milliseconds under
 a configurable bandwidth.
+
+The channel is thread-safe: the data center dispatches per-source requests
+concurrently (see :mod:`repro.distributed.executor`), so every stats mutation
+happens under a lock and concurrent sends can never drop a message or a byte
+from the totals.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.utils.sizeof import encoded_size
@@ -53,6 +59,7 @@ class SimulatedChannel:
         self.bandwidth_bytes_per_second = bandwidth_bytes_per_second
         self.latency_ms = latency_ms
         self.stats = ChannelStats()
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Traffic accounting
@@ -65,19 +72,21 @@ class SimulatedChannel:
         reported separately.
         """
         size = encoded_size(message)
-        self.stats.messages_sent += 1
-        if to_center:
-            self.stats.bytes_to_center += size
-        else:
-            self.stats.bytes_to_sources += size
-        self.stats.per_source_bytes[destination] = (
-            self.stats.per_source_bytes.get(destination, 0) + size
-        )
+        with self._lock:
+            self.stats.messages_sent += 1
+            if to_center:
+                self.stats.bytes_to_center += size
+            else:
+                self.stats.bytes_to_sources += size
+            self.stats.per_source_bytes[destination] = (
+                self.stats.per_source_bytes.get(destination, 0) + size
+            )
         return size
 
     def reset(self) -> None:
         """Clear all accumulated statistics."""
-        self.stats = ChannelStats()
+        with self._lock:
+            self.stats = ChannelStats()
 
     # ------------------------------------------------------------------ #
     # Derived metrics
@@ -88,10 +97,11 @@ class SimulatedChannel:
         return transfer_ms + self.stats.messages_sent * self.latency_ms
 
     def snapshot(self) -> ChannelStats:
-        """A copy of the current statistics."""
-        return ChannelStats(
-            messages_sent=self.stats.messages_sent,
-            bytes_to_sources=self.stats.bytes_to_sources,
-            bytes_to_center=self.stats.bytes_to_center,
-            per_source_bytes=dict(self.stats.per_source_bytes),
-        )
+        """A consistent copy of the current statistics."""
+        with self._lock:
+            return ChannelStats(
+                messages_sent=self.stats.messages_sent,
+                bytes_to_sources=self.stats.bytes_to_sources,
+                bytes_to_center=self.stats.bytes_to_center,
+                per_source_bytes=dict(self.stats.per_source_bytes),
+            )

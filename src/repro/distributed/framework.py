@@ -17,6 +17,7 @@ from repro.core.grid import Grid
 from repro.core.problems import CoverageResult, OverlapResult
 from repro.distributed.center import DataCenter, DistributionPolicy
 from repro.distributed.channel import ChannelStats, SimulatedChannel
+from repro.distributed.executor import ExecutionPolicy
 from repro.distributed.source import DataSource
 
 __all__ = ["MultiSourceFramework"]
@@ -39,6 +40,11 @@ class MultiSourceFramework:
         Query-distribution policy (candidate routing / query clipping).
     bandwidth_bytes_per_second:
         Simulated network bandwidth used to derive transmission times.
+    execution:
+        Per-source dispatch policy (thread-pool fan-out vs. serial loop).
+        ``None`` keeps the default concurrent fan-out; pass
+        ``ExecutionPolicy.serial()`` for the sequential loop.  Both modes
+        return bit-identical results.
     """
 
     def __init__(
@@ -48,11 +54,18 @@ class MultiSourceFramework:
         leaf_capacity: int = 30,
         policy: DistributionPolicy = DistributionPolicy(),
         bandwidth_bytes_per_second: float = 1_048_576,
+        execution: ExecutionPolicy | None = None,
     ) -> None:
         self.grid = Grid(theta=theta, space=space) if space is not None else Grid(theta=theta)
         self.leaf_capacity = leaf_capacity
         self.channel = SimulatedChannel(bandwidth_bytes_per_second=bandwidth_bytes_per_second)
-        self.center = DataCenter(grid=self.grid, channel=self.channel, policy=policy)
+        self.center = DataCenter(
+            grid=self.grid, channel=self.channel, policy=policy, execution=execution
+        )
+
+    def close(self) -> None:
+        """Release the data center's dispatch thread pool."""
+        self.center.close()
 
     # ------------------------------------------------------------------ #
     # Source management

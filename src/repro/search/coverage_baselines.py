@@ -6,13 +6,30 @@ Section VII-D compares CoverageSearch against two baselines:
   coverage, extended with the connectivity constraint: every iteration scans
   *all* datasets in the source, keeps those directly connected to any member
   of the current result set (query included), and adds the one with the
-  largest marginal gain.  Connectivity checks use exact cell-set distances,
-  so each round costs ``O(|R| * n)`` distance computations.
+  largest marginal gain.  Connectivity checks use exact cell-set distances
+  (no Lemma 4 bounds — that is what makes it the baseline).
 * **SG+DITS (StandardGreedyWithDITS)** — the same greedy loop, but each
-  round's connected-candidate discovery runs ``FindConnectSet`` once per
-  result-set member over DITS-L, exploiting the Lemma 4 bounds.  It lacks
-  CoverageSearch's spatial-merge trick, so the number of tree searches grows
-  with the result size.
+  round's connected-candidate discovery runs ``FindConnectSet`` over DITS-L,
+  exploiting the Lemma 4 bounds.  It lacks CoverageSearch's spatial-merge
+  trick, so connected sets are discovered per result-set member.
+
+Both baselines keep their per-round state *incrementally* across greedy
+rounds, which changes no result but removes the quadratic rescans:
+
+* Connectivity is monotone in the growing result set — once a candidate is
+  connected to some member it stays connected forever.  SG therefore caches
+  proven-connected candidates and only tests the remaining ones against the
+  member added last round, dropping from ``O(k^2 * n)`` to ``O(k * n)`` exact
+  distance computations.  SG+DITS likewise runs ``FindConnectSet`` only for
+  the newest member and accumulates the union.
+* Marginal gains run on the vectorized cell-set kernels
+  (:func:`repro.utils.cellsets.difference_size` over sorted cell vectors)
+  instead of rebuilding ``candidate.cells - covered`` frozensets each round.
+
+Selections, scores and tie-breaks are bit-identical to the original
+exhaustive implementations; ``tests/search/test_incremental_greedy.py``
+differential-tests both baselines against reference re-implementations of
+the per-round rescans on randomized corpora.
 """
 
 from __future__ import annotations
@@ -23,12 +40,13 @@ from repro.core.errors import InvalidParameterError
 from repro.core.problems import CoverageQuery, CoverageResult, ScoredDataset
 from repro.index.dits import DITSLocalIndex
 from repro.search.coverage import find_connected_nodes
+from repro.utils import cellsets
 
 __all__ = ["StandardGreedy", "StandardGreedyWithDITS"]
 
 
 class StandardGreedy:
-    """SG: greedy CJSP with exhaustive per-round connectivity scans."""
+    """SG: greedy CJSP with exact-distance connectivity scans."""
 
     name = "SG"
 
@@ -43,50 +61,57 @@ class StandardGreedy:
         """Run greedy CJSP for ``query`` with parameters ``k`` and ``delta``."""
         if k <= 0:
             raise InvalidParameterError(f"k must be positive, got {k}")
-        result_nodes: list[DatasetNode] = [query]
+        use_vector = cellsets.use_vector()
+        covered: set[int] = set() if use_vector else set(query.cells)
+        covered_array = query.cells_array if use_vector else None
         chosen_ids: set[str] = set()
-        covered: set[int] = set(query.cells)
         entries: list[ScoredDataset] = []
+        # Candidates proven connected to the growing result set.  The result
+        # set only grows, so membership here is permanent; candidates outside
+        # it have already failed against every member except the newest one.
+        connected_ids: set[str] = set()
+        last_member = query
 
         for _ in range(k):
             best_node: DatasetNode | None = None
             best_gain = 0
             for candidate in self._nodes:
-                if candidate.dataset_id in chosen_ids:
+                dataset_id = candidate.dataset_id
+                if dataset_id in chosen_ids:
                     continue
-                if not self._connected_to_result(candidate, result_nodes, delta):
-                    continue
-                gain = len(candidate.cells - covered)
+                if dataset_id not in connected_ids:
+                    if exact_node_distance(candidate, last_member) > delta:
+                        continue
+                    connected_ids.add(dataset_id)
+                if use_vector:
+                    gain = cellsets.difference_size(candidate.cells_array, covered_array)
+                else:
+                    gain = len(candidate.cells - covered)
                 if gain > best_gain or (
                     gain == best_gain
                     and gain > 0
                     and best_node is not None
-                    and candidate.dataset_id < best_node.dataset_id
+                    and dataset_id < best_node.dataset_id
                 ):
                     best_gain = gain
                     best_node = candidate
             if best_node is None or best_gain == 0:
                 break
             chosen_ids.add(best_node.dataset_id)
-            covered |= best_node.cells
-            result_nodes.append(best_node)
+            if use_vector:
+                covered_array = cellsets.union(covered_array, best_node.cells_array)
+            else:
+                covered |= best_node.cells
+            last_member = best_node
             entries.append(
                 ScoredDataset(dataset_id=best_node.dataset_id, score=float(best_gain))
             )
 
+        total_coverage = int(covered_array.size) if use_vector else len(covered)
         return CoverageResult(
             entries=tuple(entries),
-            total_coverage=len(covered),
+            total_coverage=total_coverage,
             query_coverage=len(query.cells),
-        )
-
-    @staticmethod
-    def _connected_to_result(
-        candidate: DatasetNode, result_nodes: list[DatasetNode], delta: float
-    ) -> bool:
-        """Exact connectivity test of the candidate against every result member."""
-        return any(
-            exact_node_distance(candidate, member) <= delta for member in result_nodes
         )
 
 
@@ -110,39 +135,51 @@ class StandardGreedyWithDITS:
             return CoverageResult(
                 entries=(), total_coverage=len(query.cells), query_coverage=len(query.cells)
             )
-        result_nodes: list[DatasetNode] = [query]
+        use_vector = cellsets.use_vector()
+        covered: set[int] = set() if use_vector else set(query.cells)
+        covered_array = query.cells_array if use_vector else None
         chosen_ids: set[str] = set()
-        covered: set[int] = set(query.cells)
         entries: list[ScoredDataset] = []
+        # The tree and earlier members never change, so each member's
+        # FindConnectSet runs exactly once; the candidate pool is the
+        # accumulated union minus the datasets already chosen.
+        candidates: dict[str, DatasetNode] = {}
+        new_members: list[DatasetNode] = [query]
 
         for _ in range(k):
-            # One FindConnectSet per member of the current result set (no
-            # spatial merge); candidates are deduplicated by dataset ID.
-            candidates: dict[str, DatasetNode] = {}
-            for member in result_nodes:
+            for member in new_members:
                 for candidate in find_connected_nodes(
                     self._index.root, member, delta, exclude=chosen_ids
                 ):
                     candidates[candidate.dataset_id] = candidate
+            new_members = []
             best_node: DatasetNode | None = None
             best_gain = 0
             for dataset_id in sorted(candidates):
                 candidate = candidates[dataset_id]
-                gain = len(candidate.cells - covered)
+                if use_vector:
+                    gain = cellsets.difference_size(candidate.cells_array, covered_array)
+                else:
+                    gain = len(candidate.cells - covered)
                 if gain > best_gain:
                     best_gain = gain
                     best_node = candidate
             if best_node is None or best_gain == 0:
                 break
             chosen_ids.add(best_node.dataset_id)
-            covered |= best_node.cells
-            result_nodes.append(best_node)
+            del candidates[best_node.dataset_id]
+            if use_vector:
+                covered_array = cellsets.union(covered_array, best_node.cells_array)
+            else:
+                covered |= best_node.cells
+            new_members = [best_node]
             entries.append(
                 ScoredDataset(dataset_id=best_node.dataset_id, score=float(best_gain))
             )
 
+        total_coverage = int(covered_array.size) if use_vector else len(covered)
         return CoverageResult(
             entries=tuple(entries),
-            total_coverage=len(covered),
+            total_coverage=total_coverage,
             query_coverage=len(query.cells),
         )

@@ -97,3 +97,26 @@ class TestWorldSpaceClamping:
         scalar = {grid.cell_id_of(p) for p in outside}
         assert batch == scalar
         assert WORLD_SPACE.width > 0  # sanity: default space in use
+
+
+class TestCellCentersOfBatch:
+    @given(point_lists, st.integers(min_value=2, max_value=14))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scalar_cell_center(self, pairs, theta):
+        """Batch-decoded centres are bit-identical to the scalar path."""
+        grid = Grid(theta=theta)
+        cell_ids = grid.cell_ids_of_batch(pairs)
+        xs, ys = grid.cell_centers_of_batch(cell_ids)
+        for cell_id, x, y in zip(cell_ids.tolist(), xs.tolist(), ys.tolist()):
+            center = grid.cell_center(cell_id)
+            assert (x, y) == (center.x, center.y)
+
+    def test_empty_vector(self):
+        grid = Grid(theta=6)
+        xs, ys = grid.cell_centers_of_batch(np.empty(0, dtype=np.int64))
+        assert xs.size == 0 and ys.size == 0
+
+    def test_invalid_cell_rejected(self):
+        grid = Grid(theta=2)
+        with pytest.raises(InvalidParameterError):
+            grid.cell_centers_of_batch(np.array([grid.total_cells], dtype=np.int64))

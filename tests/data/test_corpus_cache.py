@@ -1,0 +1,135 @@
+"""Tests for the on-disk corpus cache (key derivation, round-trips, fallbacks)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import corpus_cache
+from repro.data.corpus_cache import (
+    cache_dir_from_env,
+    corpus_cache_path,
+    generator_fingerprint,
+    load_corpus,
+    load_or_generate,
+    store_corpus,
+)
+from repro.data.sources import SOURCE_PROFILES, build_source_datasets
+
+TRANSIT = SOURCE_PROFILES["Transit"]
+
+
+def small_corpus(seed: int = 3):
+    return build_source_datasets(TRANSIT, scale=0.001, seed=seed, min_datasets=5)
+
+
+def assert_corpora_identical(left, right):
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        assert a.dataset_id == b.dataset_id
+        assert a.points == b.points  # exact float equality: lossless round-trip
+
+
+class TestKeying:
+    def test_fingerprint_is_stable(self):
+        assert generator_fingerprint() == generator_fingerprint()
+        assert len(generator_fingerprint()) == 16
+
+    def test_path_varies_with_config(self, tmp_path):
+        base = corpus_cache_path(tmp_path, TRANSIT, 0.02, 7, 20)
+        assert corpus_cache_path(tmp_path, TRANSIT, 0.02, 7, 20) == base
+        assert corpus_cache_path(tmp_path, TRANSIT, 0.04, 7, 20) != base
+        assert corpus_cache_path(tmp_path, TRANSIT, 0.02, 8, 20) != base
+        assert corpus_cache_path(tmp_path, TRANSIT, 0.02, 7, 21) != base
+        assert corpus_cache_path(tmp_path, SOURCE_PROFILES["Baidu"], 0.02, 7, 20) != base
+
+    def test_fingerprint_change_invalidates(self, tmp_path, monkeypatch):
+        base = corpus_cache_path(tmp_path, TRANSIT, 0.02, 7, 20)
+        monkeypatch.setattr(corpus_cache, "_fingerprint_cache", "deadbeefdeadbeef")
+        assert corpus_cache_path(tmp_path, TRANSIT, 0.02, 7, 20) != base
+
+
+class TestRoundTrip:
+    def test_store_then_load_is_bit_identical(self, tmp_path):
+        corpus = small_corpus()
+        path = tmp_path / "corpus.npz"
+        store_corpus(path, corpus)
+        assert_corpora_identical(load_corpus(path), corpus)
+
+    def test_missing_file_returns_none(self, tmp_path):
+        assert load_corpus(tmp_path / "absent.npz") is None
+
+    def test_corrupted_file_returns_none(self, tmp_path):
+        path = tmp_path / "corrupt.npz"
+        path.write_bytes(b"this is not an npz archive")
+        assert load_corpus(path) is None
+
+
+class TestLoadOrGenerate:
+    def test_generates_then_hits_cache(self, tmp_path):
+        calls = []
+
+        def generate():
+            calls.append(1)
+            return small_corpus()
+
+        first = load_or_generate(TRANSIT, 0.001, 3, 5, generate, cache_dir=tmp_path)
+        second = load_or_generate(TRANSIT, 0.001, 3, 5, generate, cache_dir=tmp_path)
+        assert len(calls) == 1
+        assert_corpora_identical(first, second)
+
+    def test_disabled_without_directory(self, monkeypatch):
+        monkeypatch.delenv(corpus_cache.CACHE_ENV_VAR, raising=False)
+        calls = []
+
+        def generate():
+            calls.append(1)
+            return small_corpus()
+
+        load_or_generate(TRANSIT, 0.001, 3, 5, generate)
+        load_or_generate(TRANSIT, 0.001, 3, 5, generate)
+        assert len(calls) == 2
+
+    def test_env_var_configures_directory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(corpus_cache.CACHE_ENV_VAR, str(tmp_path))
+        assert cache_dir_from_env() == tmp_path
+        build_source_datasets(TRANSIT, scale=0.001, seed=11, min_datasets=5)
+        assert list(tmp_path.glob("Transit-*.npz"))
+
+    @pytest.mark.parametrize("value", ["", "0", "off", "none"])
+    def test_env_var_off_values(self, value, monkeypatch):
+        monkeypatch.setenv(corpus_cache.CACHE_ENV_VAR, value)
+        assert cache_dir_from_env() is None
+
+    def test_explicit_empty_cache_dir_disables(self, tmp_path, monkeypatch):
+        # An empty string must disable caching, not cache into the cwd.
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.delenv(corpus_cache.CACHE_ENV_VAR, raising=False)
+        calls = []
+
+        def generate():
+            calls.append(1)
+            return small_corpus()
+
+        load_or_generate(TRANSIT, 0.001, 3, 5, generate, cache_dir="")
+        load_or_generate(TRANSIT, 0.001, 3, 5, generate, cache_dir="")
+        assert len(calls) == 2
+        assert not list(tmp_path.glob("*.npz"))
+
+    def test_cached_equals_generated_through_build_source_datasets(self, tmp_path):
+        generated = build_source_datasets(
+            TRANSIT, scale=0.001, seed=13, min_datasets=5, cache_dir=str(tmp_path)
+        )
+        cached = build_source_datasets(
+            TRANSIT, scale=0.001, seed=13, min_datasets=5, cache_dir=str(tmp_path)
+        )
+        assert_corpora_identical(generated, cached)
+
+    def test_size_mismatch_regenerates(self, tmp_path):
+        corpus = small_corpus()
+        path = tmp_path / "corpus.npz"
+        store_corpus(path, corpus)
+        with np.load(path) as archive:
+            ids, sizes, points = archive["ids"], archive["sizes"], archive["points"]
+        np.savez(path, ids=ids, sizes=sizes + 1, points=points)
+        assert load_corpus(path) is None

@@ -1,0 +1,174 @@
+"""Parity and unit tests for the concurrent per-source dispatch engine.
+
+The data center fans per-source requests out over a thread pool
+(:mod:`repro.distributed.executor`), collecting responses in candidate order
+so aggregation stays deterministic.  These tests assert that parallel and
+serial dispatch return *identical* results and identical channel byte totals
+on randomized multi-source federations, and unit-test the dispatcher itself.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.data.sources import SOURCE_PROFILES, build_source_datasets
+from repro.distributed.center import DistributionPolicy
+from repro.distributed.executor import ExecutionPolicy, SourceDispatcher
+from repro.distributed.framework import MultiSourceFramework
+
+
+# ---------------------------------------------------------------------- #
+# ExecutionPolicy / SourceDispatcher units
+# ---------------------------------------------------------------------- #
+class TestExecutionPolicy:
+    def test_default_is_parallel(self):
+        assert ExecutionPolicy(max_workers=4).parallel
+
+    def test_serial_factory(self):
+        policy = ExecutionPolicy.serial()
+        assert policy.max_workers == 1
+        assert not policy.parallel
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ExecutionPolicy(max_workers=0)
+
+
+class TestSourceDispatcher:
+    def test_results_in_input_order(self):
+        # Make earlier items finish later: order must still follow the input.
+        def work(item: int) -> int:
+            time.sleep(0.002 * (5 - item))
+            return item * 10
+
+        with SourceDispatcher(ExecutionPolicy(max_workers=4)) as dispatcher:
+            assert dispatcher.map(work, range(5)) == [0, 10, 20, 30, 40]
+
+    def test_serial_fallback_uses_no_pool(self):
+        dispatcher = SourceDispatcher(ExecutionPolicy.serial())
+        assert dispatcher.map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+        assert dispatcher._pool is None
+
+    def test_exceptions_propagate(self):
+        def boom(item: int) -> int:
+            raise RuntimeError(f"item {item}")
+
+        with SourceDispatcher(ExecutionPolicy(max_workers=2)) as dispatcher:
+            with pytest.raises(RuntimeError):
+                dispatcher.map(boom, [1, 2])
+
+    def test_close_is_idempotent_and_reusable(self):
+        dispatcher = SourceDispatcher(ExecutionPolicy(max_workers=2))
+        assert dispatcher.map(lambda x: x, [1, 2]) == [1, 2]
+        dispatcher.close()
+        dispatcher.close()
+        assert dispatcher.map(lambda x: x, [3, 4]) == [3, 4]
+        dispatcher.close()
+
+
+# ---------------------------------------------------------------------- #
+# Serial-vs-parallel parity on randomized federations
+# ---------------------------------------------------------------------- #
+def build_federation(execution: ExecutionPolicy, policy: DistributionPolicy, seed: int):
+    framework = MultiSourceFramework(theta=10, policy=policy, execution=execution)
+    for name in ("Transit", "Baidu", "NYU"):
+        datasets = build_source_datasets(
+            SOURCE_PROFILES[name], scale=0.004, seed=seed, min_datasets=8
+        )
+        framework.add_source(name, datasets)
+    return framework
+
+
+def sample_query(framework: MultiSourceFramework, seed: int):
+    rng = np.random.default_rng(seed)
+    profile = SOURCE_PROFILES["Transit"]
+    points = np.column_stack(
+        [
+            rng.uniform(profile.region.min_x, profile.region.max_x, size=40),
+            rng.uniform(profile.region.min_y, profile.region.max_y, size=40),
+        ]
+    )
+    return framework.query_from_points(points.tolist(), query_id=f"q-{seed}")
+
+
+@pytest.mark.parametrize("seed", [3, 11, 29])
+@pytest.mark.parametrize(
+    "policy",
+    [
+        DistributionPolicy(route_to_candidates=True, clip_query=True),
+        DistributionPolicy(route_to_candidates=False, clip_query=False),
+    ],
+    ids=["optimised", "broadcast"],
+)
+class TestSerialParallelParity:
+    def test_overlap_parity(self, seed, policy):
+        serial = build_federation(ExecutionPolicy.serial(), policy, seed)
+        parallel = build_federation(ExecutionPolicy(max_workers=6), policy, seed)
+        for query_seed in range(seed, seed + 3):
+            qs = sample_query(serial, query_seed)
+            qp = sample_query(parallel, query_seed)
+            rs = serial.overlap_search(qs, k=5)
+            rp = parallel.overlap_search(qp, k=5)
+            assert [
+                (e.dataset_id, e.score, e.source_id) for e in rs.entries
+            ] == [(e.dataset_id, e.score, e.source_id) for e in rp.entries]
+        ss, sp = serial.communication_stats(), parallel.communication_stats()
+        assert ss.messages_sent == sp.messages_sent
+        assert ss.bytes_to_sources == sp.bytes_to_sources
+        assert ss.bytes_to_center == sp.bytes_to_center
+        assert ss.per_source_bytes == sp.per_source_bytes
+        parallel.close()
+
+    def test_coverage_parity(self, seed, policy):
+        serial = build_federation(ExecutionPolicy.serial(), policy, seed)
+        parallel = build_federation(ExecutionPolicy(max_workers=6), policy, seed)
+        for query_seed in range(seed, seed + 2):
+            qs = sample_query(serial, query_seed)
+            qp = sample_query(parallel, query_seed)
+            rs = serial.coverage_search(qs, k=4, delta=6.0)
+            rp = parallel.coverage_search(qp, k=4, delta=6.0)
+            assert [
+                (e.dataset_id, e.score, e.source_id) for e in rs.entries
+            ] == [(e.dataset_id, e.score, e.source_id) for e in rp.entries]
+            assert rs.total_coverage == rp.total_coverage
+        ss, sp = serial.communication_stats(), parallel.communication_stats()
+        assert ss.messages_sent == sp.messages_sent
+        assert ss.total_bytes == sp.total_bytes
+        assert ss.per_source_bytes == sp.per_source_bytes
+        parallel.close()
+
+
+class TestConcurrentChannelAccounting:
+    def test_concurrent_sends_preserve_totals(self):
+        # Hammer one channel from many threads; no message or byte may be
+        # lost to a data race.
+        from repro.distributed.channel import SimulatedChannel
+        from repro.utils.sizeof import encoded_size
+
+        channel = SimulatedChannel()
+        payload = {"cells": list(range(64))}
+        per_thread = 200
+        threads = [
+            threading.Thread(
+                target=lambda dest: [
+                    channel.send(payload, destination=dest, to_center=(i % 2 == 0))
+                    for i in range(per_thread)
+                ],
+                args=(f"s{t}",),
+            )
+            for t in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        size = encoded_size(payload)
+        stats = channel.snapshot()
+        assert stats.messages_sent == 8 * per_thread
+        assert stats.total_bytes == 8 * per_thread * size
+        assert stats.per_source_bytes == {f"s{t}": per_thread * size for t in range(8)}
