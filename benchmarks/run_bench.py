@@ -90,9 +90,29 @@ SWEEPS = {
     "fig18": lambda: experiments.fig18_coverage_vs_delta(
         delta_values=DELTA_VALUES, query_count=3, config=BENCH_CONFIG
     ),
+    "fig23": lambda: experiments.fig23_global_index_churn(**_fig23_kwargs()),
 }
 
-DEFAULT_FIGURES = ("fig9", "fig10", "fig11", "fig12", "fig15")
+
+def _fig23_kwargs() -> dict:
+    """Scale the DITS-G churn sweep via ``REPRO_BENCH_CHURN_SCALE``.
+
+    fig23 synthesises source summaries directly (no corpora), so the corpus
+    scale knobs do not apply; this factor shrinks the federation sizes and
+    churn length instead (CI's fast lane uses 0.1).
+    """
+    factor = float(os.environ.get("REPRO_BENCH_CHURN_SCALE", "1.0"))
+    if factor >= 1.0:
+        return {}
+    return {
+        "source_counts": tuple(
+            max(50, int(count * factor)) for count in (250, 1000, 2000)
+        ),
+        "churn_ops": max(20, int(200 * factor)),
+        "query_count": max(10, int(50 * factor)),
+    }
+
+DEFAULT_FIGURES = ("fig9", "fig10", "fig11", "fig12", "fig15", "fig23")
 
 
 def run(figures: list[str], include_rows: bool, baseline: dict | None = None) -> dict:

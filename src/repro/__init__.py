@@ -41,7 +41,7 @@ from repro.core import (
     SpatialDataset,
 )
 from repro.distributed import DataCenter, DataSource, MultiSourceFramework
-from repro.index import DITSGlobalIndex, DITSLocalIndex
+from repro.index import DITSGlobalIndex, DITSLocalIndex, ShardedDITSGlobalIndex, ShardPolicy
 from repro.search import CoverageSearch, OverlapSearch
 
 __version__ = "1.0.0"
@@ -63,6 +63,8 @@ __all__ = [
     "OverlapResult",
     "OverlapSearch",
     "Point",
+    "ShardPolicy",
+    "ShardedDITSGlobalIndex",
     "SpatialDataset",
     "__version__",
 ]

@@ -9,15 +9,21 @@ matching Table II of the paper, scaled to the synthetic corpora.
 
 from __future__ import annotations
 
+import zlib
 from typing import Sequence
 
+import numpy as np
+
 from repro.bench.harness import ExperimentConfig, Workbench, time_call
+from repro.core.geometry import BoundingBox
 from repro.core.grid import Grid
 from repro.core.problems import CoverageQuery, OverlapQuery
 from repro.data.sources import SOURCE_PROFILES, build_source_datasets
 from repro.distributed.center import DistributionPolicy
 from repro.distributed.framework import MultiSourceFramework
 from repro.index import DATASET_INDEX_CLASSES
+from repro.index.dits_global import DITSGlobalIndex, SourceSummary
+from repro.index.dits_global_sharded import ShardedDITSGlobalIndex, ShardPolicy
 from repro.index.dits import DITSLocalIndex
 from repro.index.rtree import RTreeIndex
 from repro.index.stats import index_memory_bytes
@@ -46,6 +52,7 @@ __all__ = [
     "fig18_coverage_vs_delta",
     "fig19_20_coverage_communication",
     "fig21_22_index_updates",
+    "fig23_global_index_churn",
     "OVERLAP_METHODS",
     "COVERAGE_METHODS",
 ]
@@ -434,6 +441,127 @@ def fig19_20_coverage_communication(
                     "bytes": stats.total_bytes,
                     "messages": stats.messages_sent,
                     "transmission_ms": framework.transmission_time_ms(),
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 23 (repo extension) — DITS-G registration churn and pruning latency
+# ---------------------------------------------------------------------- #
+_CHURN_REGION = BoundingBox(-125.0, 24.0, -66.0, 49.0)
+
+
+def _synthetic_summaries(count: int, rng: np.random.Generator) -> list[SourceSummary]:
+    """Random source summaries over a continental region (mixed MBR sizes)."""
+    summaries = []
+    for i in range(count):
+        cx = rng.uniform(_CHURN_REGION.min_x, _CHURN_REGION.max_x)
+        cy = rng.uniform(_CHURN_REGION.min_y, _CHURN_REGION.max_y)
+        half_w, half_h = rng.uniform(0.05, 2.5, size=2)
+        summaries.append(
+            SourceSummary(
+                source_id=f"src-{i:05d}",
+                rect=BoundingBox(cx - half_w, cy - half_h, cx + half_w, cy + half_h),
+                dataset_count=int(rng.integers(10, 5000)),
+            )
+        )
+    return summaries
+
+
+def _churn_query_rects(count: int, rng: np.random.Generator) -> list[BoundingBox]:
+    rects = []
+    for _ in range(count):
+        cx = rng.uniform(_CHURN_REGION.min_x, _CHURN_REGION.max_x)
+        cy = rng.uniform(_CHURN_REGION.min_y, _CHURN_REGION.max_y)
+        half = rng.uniform(0.2, 2.0)
+        rects.append(BoundingBox(cx - half, cy - half, cx + half, cy + half))
+    return rects
+
+
+def _candidate_checksum(index, rects: Sequence[BoundingBox], delta_geo: float) -> int:
+    """Order-sensitive CRC of every query's candidate ID list (variant parity)."""
+    crc = 0
+    for rect in rects:
+        ids = ",".join(s.source_id for s in index.candidate_sources(rect, delta_geo))
+        crc = zlib.crc32(ids.encode(), crc)
+    return crc
+
+
+def fig23_global_index_churn(
+    source_counts: Sequence[int] = (250, 1000, 2000),
+    shard_counts: Sequence[int] = (4, 16),
+    churn_ops: int = 200,
+    query_count: int = 50,
+    delta_geo: float = 1.0,
+    seed: int = 7,
+) -> list[dict]:
+    """DITS-G registration churn and pruning latency, monolithic vs sharded.
+
+    For every source count and index variant the driver measures
+
+    * ``register_ms`` — bulk-registering all sources plus the first query
+      (the initial build);
+    * ``churn_ms`` — ``churn_ops`` interleaved (mutate, query) steps, the
+      worst case for rebuild cost: the monolithic index reconstructs its
+      whole tree after every mutation, the sharded index only the touched
+      shard;
+    * ``prune_ms`` — ``query_count`` candidate queries on a quiescent index;
+    * ``checksum`` — CRC over the ordered candidate lists, identical across
+      variants by construction (asserted by the fig23 benchmark test).
+    """
+
+    def variants():
+        yield "monolith", lambda: DITSGlobalIndex()
+        for count in shard_counts:
+            yield (
+                f"sharded-{count}",
+                lambda c=count: ShardedDITSGlobalIndex(ShardPolicy(shard_count=c)),
+            )
+
+    rows = []
+    for sources in source_counts:
+        for label, factory in variants():
+            rng = np.random.default_rng(seed)
+            summaries = _synthetic_summaries(sources, rng)
+            probe_rects = _churn_query_rects(query_count, rng)
+            churn_rects = _churn_query_rects(churn_ops, rng)
+            replacements = _synthetic_summaries(churn_ops, np.random.default_rng(seed + 1))
+            victims = rng.integers(0, sources, size=churn_ops)
+
+            index = factory()
+
+            def initial_build():
+                index.register_all(summaries)
+                index.candidate_sources(probe_rects[0], delta_geo)
+
+            register_ms, _ = time_call(initial_build)
+
+            def churn():
+                for op in range(churn_ops):
+                    victim = summaries[int(victims[op])].source_id
+                    index.unregister(victim)
+                    moved = SourceSummary(
+                        source_id=victim,
+                        rect=replacements[op].rect,
+                        dataset_count=replacements[op].dataset_count,
+                    )
+                    index.register(moved)
+                    index.candidate_sources(churn_rects[op], delta_geo)
+
+            churn_ms, _ = time_call(churn)
+            prune_ms, _ = time_call(
+                lambda: [index.candidate_sources(rect, delta_geo) for rect in probe_rects]
+            )
+            rows.append(
+                {
+                    "sources": sources,
+                    "variant": label,
+                    "register_ms": register_ms,
+                    "churn_ms": churn_ms,
+                    "prune_ms": prune_ms,
+                    "rebuilds": index.rebuild_count,
+                    "checksum": _candidate_checksum(index, probe_rects, delta_geo),
                 }
             )
     return rows

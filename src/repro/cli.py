@@ -20,6 +20,12 @@ corpus on disk:
     corpus statistics: dataset count, point count, cell coverage at a chosen
     resolution and DITS-L construction time.
 
+``python -m repro.cli federate``
+    multi-source mode: partition the corpus across several simulated data
+    sources behind a data center with a sharded DITS-G global index, run an
+    OJSP or CJSP query end to end and report the per-source results,
+    global-index shard statistics and simulated communication cost.
+
 Every command prints a small aligned table to stdout and returns a process
 exit code of 0 on success, which makes the CLI easy to wire into shell
 pipelines and CI smoke tests.
@@ -39,7 +45,10 @@ from repro.core.grid import Grid
 from repro.core.problems import CoverageQuery, OverlapQuery
 from repro.data.loaders import load_source_csv, save_source_csv
 from repro.data.sources import SOURCE_PROFILES, build_source_datasets
+from repro.distributed.framework import MultiSourceFramework
 from repro.index.dits import DITSLocalIndex
+from repro.index.dits_global_sharded import ShardPolicy
+from repro.index.stats import global_index_stats
 from repro.search.coverage import CoverageSearch
 from repro.search.overlap import OverlapSearch
 
@@ -82,6 +91,23 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--corpus", type=Path, required=True)
     stats.add_argument("--theta", type=int, default=12)
     stats.add_argument("--leaf-capacity", type=int, default=30)
+
+    federate = subparsers.add_parser(
+        "federate", help="multi-source search through a sharded DITS-G data center"
+    )
+    federate.add_argument("--corpus", type=Path, required=True,
+                          help="directory of dataset CSV files (columns x,y)")
+    federate.add_argument("--query", type=Path, required=True, help="query CSV file")
+    federate.add_argument("--sources", type=int, default=3,
+                          help="number of simulated data sources the corpus is split across")
+    federate.add_argument("--shards", type=int, default=4,
+                          help="DITS-G shard count at the data center (default 4)")
+    federate.add_argument("--theta", type=int, default=12)
+    federate.add_argument("--k", type=int, default=5)
+    federate.add_argument("--leaf-capacity", type=int, default=30)
+    federate.add_argument("--mode", choices=("overlap", "coverage"), default="overlap")
+    federate.add_argument("--delta", type=float, default=10.0,
+                          help="CJSP connectivity threshold in cells (coverage mode)")
 
     return parser
 
@@ -173,11 +199,82 @@ def _command_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_federate(args: argparse.Namespace) -> int:
+    if args.sources < 1:
+        raise SystemExit(f"--sources must be at least 1, got {args.sources}")
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be at least 1, got {args.shards}")
+    corpus = _load_corpus(args.corpus)
+    framework = MultiSourceFramework(
+        theta=args.theta,
+        leaf_capacity=args.leaf_capacity,
+        shard_policy=ShardPolicy(shard_count=args.shards),
+    )
+    try:
+        source_count = min(args.sources, len(corpus))
+        for portal in range(source_count):
+            framework.add_source(f"src-{portal}", corpus[portal::source_count])
+        query = framework.query_from_dataset(_load_query(args.query))
+
+        if args.mode == "overlap":
+            result = framework.overlap_search(query, args.k)
+            rows = [
+                {
+                    "rank": rank + 1,
+                    "source": entry.source_id,
+                    "dataset": entry.dataset_id,
+                    "overlap_cells": int(entry.score),
+                }
+                for rank, entry in enumerate(result)
+            ]
+            title = f"federated OJSP top-{args.k} ({source_count} sources)"
+        else:
+            result = framework.coverage_search(query, args.k, args.delta)
+            rows = [
+                {
+                    "pick": rank + 1,
+                    "source": entry.source_id,
+                    "dataset": entry.dataset_id,
+                    "marginal_gain": int(entry.score),
+                }
+                for rank, entry in enumerate(result)
+            ]
+            title = f"federated CJSP selection (k={args.k}, delta={args.delta})"
+        print(format_table(rows, title=title))
+
+        index_stats = global_index_stats(framework.center.global_index)
+        print(
+            format_table(
+                [
+                    {
+                        "sources": index_stats["sources"],
+                        "shards": index_stats.get("shard_count", 1),
+                        "shard_sizes": "/".join(
+                            str(size) for size in index_stats.get("shard_sizes", [])
+                        ),
+                        "tree_nodes": index_stats["tree_nodes"],
+                        "rebuilds": index_stats["rebuilds"],
+                    }
+                ],
+                title="DITS-G global index",
+            )
+        )
+        comm = framework.communication_stats()
+        print(
+            f"communication: {comm.messages_sent} messages, {comm.total_bytes} bytes, "
+            f"{framework.transmission_time_ms():.2f} ms simulated transmission"
+        )
+    finally:
+        framework.close()
+    return 0
+
+
 _COMMANDS = {
     "generate": _command_generate,
     "overlap": _command_overlap,
     "coverage": _command_coverage,
     "stats": _command_stats,
+    "federate": _command_federate,
 }
 
 

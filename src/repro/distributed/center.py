@@ -20,6 +20,11 @@ inherently parallel), so per-source request execution fans out over a thread
 pool governed by :class:`~repro.distributed.executor.ExecutionPolicy`.
 Responses are aggregated in candidate order regardless of completion order,
 so parallel and serial dispatch return bit-identical results and byte totals.
+
+DITS-G itself is sharded (:class:`~repro.index.dits_global_sharded.ShardedDITSGlobalIndex`):
+source registration only rebuilds the touched shard, and candidate pruning
+for large federations fans out across shards over the same dispatcher used
+for per-source requests.  Shard count 1 reproduces the monolithic tree.
 """
 
 from __future__ import annotations
@@ -45,7 +50,8 @@ from repro.distributed.messages import (
     RootUpload,
 )
 from repro.distributed.source import DataSource
-from repro.index.dits_global import DITSGlobalIndex, SourceSummary
+from repro.index.dits_global import SourceSummary
+from repro.index.dits_global_sharded import ShardedDITSGlobalIndex, ShardPolicy
 from repro.utils import cellsets
 from repro.utils.heaps import BoundedTopK
 
@@ -111,14 +117,21 @@ class DataCenter:
         policy: DistributionPolicy = DistributionPolicy(),
         global_leaf_capacity: int = 4,
         execution: ExecutionPolicy | None = None,
+        shard_policy: ShardPolicy | None = None,
     ) -> None:
         self.grid = grid
         self.channel = channel if channel is not None else SimulatedChannel()
         self.policy = policy
-        self._global_index = DITSGlobalIndex(leaf_capacity=global_leaf_capacity)
         self._sources: dict[str, DataSource] = {}
         self._query_counter = itertools.count()
         self._dispatcher = SourceDispatcher(execution)
+        # DITS-G is sharded by default; shard pruning reuses the per-source
+        # dispatch pool, so global routing and request fan-out share threads.
+        self._global_index = ShardedDITSGlobalIndex(
+            policy=shard_policy,
+            leaf_capacity=global_leaf_capacity,
+            dispatcher=self._dispatcher,
+        )
 
     @property
     def execution(self) -> ExecutionPolicy:
@@ -141,8 +154,11 @@ class DataCenter:
             rect=BoundingBox(*upload.rect),
             dataset_count=upload.dataset_count,
         )
-        self._global_index.register(summary)
+        # The source must be resolvable before it becomes routable: queries
+        # racing this registration may see the summary as soon as it lands
+        # in DITS-G and immediately dispatch a request to the source.
         self._sources[source.source_id] = source
+        self._global_index.register(summary)
 
     def refresh_source(self, source_id: str) -> None:
         """Re-receive ``source_id``'s root summary after its datasets changed.
@@ -175,8 +191,8 @@ class DataCenter:
             raise SourceNotFoundError(source_id) from exc
 
     @property
-    def global_index(self) -> DITSGlobalIndex:
-        """The DITS-G global index."""
+    def global_index(self) -> ShardedDITSGlobalIndex:
+        """The DITS-G global index (sharded; shard count 1 = one tree)."""
         return self._global_index
 
     # ------------------------------------------------------------------ #

@@ -19,6 +19,7 @@ from repro.distributed.center import DataCenter, DistributionPolicy
 from repro.distributed.channel import ChannelStats, SimulatedChannel
 from repro.distributed.executor import ExecutionPolicy
 from repro.distributed.source import DataSource
+from repro.index.dits_global_sharded import ShardPolicy
 
 __all__ = ["MultiSourceFramework"]
 
@@ -45,6 +46,11 @@ class MultiSourceFramework:
         ``None`` keeps the default concurrent fan-out; pass
         ``ExecutionPolicy.serial()`` for the sequential loop.  Both modes
         return bit-identical results.
+    shard_policy:
+        How DITS-G partitions source summaries across shards
+        (:class:`~repro.index.dits_global_sharded.ShardPolicy`).  ``None``
+        keeps the default policy; every shard count returns bit-identical
+        candidates and results.
     """
 
     def __init__(
@@ -55,12 +61,17 @@ class MultiSourceFramework:
         policy: DistributionPolicy = DistributionPolicy(),
         bandwidth_bytes_per_second: float = 1_048_576,
         execution: ExecutionPolicy | None = None,
+        shard_policy: ShardPolicy | None = None,
     ) -> None:
         self.grid = Grid(theta=theta, space=space) if space is not None else Grid(theta=theta)
         self.leaf_capacity = leaf_capacity
         self.channel = SimulatedChannel(bandwidth_bytes_per_second=bandwidth_bytes_per_second)
         self.center = DataCenter(
-            grid=self.grid, channel=self.channel, policy=policy, execution=execution
+            grid=self.grid,
+            channel=self.channel,
+            policy=policy,
+            execution=execution,
+            shard_policy=shard_policy,
         )
 
     def close(self) -> None:

@@ -5,6 +5,8 @@
   index from cell ID to dataset IDs.
 * :mod:`repro.index.dits_global` — DITS-G, the global index at the data
   center, built over the root summaries reported by each source.
+* :mod:`repro.index.dits_global_sharded` — DITS-G partitioned into z-order
+  shards with incremental registration and parallel pruning.
 * :mod:`repro.index.quadtree` — QuadTree baseline over individual cells.
 * :mod:`repro.index.rtree` — R-tree baseline over dataset MBRs.
 * :mod:`repro.index.inverted` — STS3-style plain inverted index.
@@ -17,11 +19,12 @@
 from repro.index.base import DatasetIndex
 from repro.index.dits import DITSLocalIndex, InternalNode, LeafNode, TreeNode
 from repro.index.dits_global import DITSGlobalIndex, SourceSummary
+from repro.index.dits_global_sharded import ShardedDITSGlobalIndex, ShardPolicy
 from repro.index.inverted import STS3Index
 from repro.index.josie import JosieIndex
 from repro.index.quadtree import QuadTreeIndex
 from repro.index.rtree import RTreeIndex
-from repro.index.stats import index_memory_bytes
+from repro.index.stats import global_index_stats, index_memory_bytes
 
 __all__ = [
     "DATASET_INDEX_CLASSES",
@@ -34,8 +37,11 @@ __all__ = [
     "QuadTreeIndex",
     "RTreeIndex",
     "STS3Index",
+    "ShardPolicy",
+    "ShardedDITSGlobalIndex",
     "SourceSummary",
     "TreeNode",
+    "global_index_stats",
     "index_memory_bytes",
 ]
 

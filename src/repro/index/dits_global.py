@@ -14,18 +14,38 @@ Pruning rules (Section VI-A):
 * for CJSP, a source whose distance lower bound to the query exceeds the
   connectivity threshold ``delta`` cannot contain directly connected
   datasets.
+
+The candidate set is *defined* as the set of summaries passing the
+per-summary predicate (:func:`summary_may_contain`); internal tree nodes are
+pruned with a bound (:func:`node_may_contain`) that is provably never
+stricter than any contained summary's predicate, so the answer does not
+depend on the shape of the tree.  That invariant is what allows the sharded
+variant (:mod:`repro.index.dits_global_sharded`) — which builds one tree per
+shard — to return bit-identical candidates.
+
+Rebuilds are *lazy*: mutations only mark the tree dirty and the next query
+(or explicit ``root``/``node_count`` access) rebuilds it once, so a batch of
+``register``/``unregister`` calls costs a single reconstruction.
+``rebuild_count`` exposes how many reconstructions actually happened.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.core.errors import IndexNotBuiltError, InvalidParameterError, SourceNotFoundError
 from repro.core.geometry import BoundingBox, Point
 
-__all__ = ["SourceSummary", "DITSGlobalIndex"]
+__all__ = [
+    "SourceSummary",
+    "DITSGlobalIndex",
+    "summary_may_contain",
+    "node_may_contain",
+    "build_summary_tree",
+]
 
 DEFAULT_FANOUT = 4
 
@@ -78,6 +98,50 @@ class _GlobalNode:
         return not self.children
 
 
+def build_summary_tree(
+    summaries: list[SourceSummary], leaf_capacity: int
+) -> _GlobalNode:
+    """Build the DITS-G binary tree over ``summaries`` (non-empty)."""
+    rect = BoundingBox.union_of(summary.rect for summary in summaries)
+    if len(summaries) <= leaf_capacity:
+        return _GlobalNode(rect, summaries=summaries)
+    split_dim = 0 if rect.width >= rect.height else 1
+    ordered = sorted(
+        summaries,
+        key=lambda s: (s.pivot.x if split_dim == 0 else s.pivot.y, s.source_id),
+    )
+    midpoint = len(ordered) // 2
+    left = build_summary_tree(ordered[:midpoint], leaf_capacity)
+    right = build_summary_tree(ordered[midpoint:], leaf_capacity)
+    return _GlobalNode(rect, children=[left, right])
+
+
+def collect_candidates(
+    root: _GlobalNode | None,
+    query_rect: BoundingBox,
+    delta_geo: float,
+    out: list[SourceSummary],
+) -> None:
+    """Append every summary under ``root`` passing the pruning predicate."""
+    if root is None:
+        return
+    query_pivot = query_rect.center
+    query_radius = query_rect.radius
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if not node_may_contain(node.rect, query_rect, query_pivot, query_radius, delta_geo):
+            continue
+        if node.is_leaf():
+            for summary in node.summaries:
+                if summary_may_contain(
+                    summary.rect, query_rect, query_pivot, query_radius, delta_geo
+                ):
+                    out.append(summary)
+        else:
+            stack.extend(node.children)
+
+
 class DITSGlobalIndex:
     """The global index over registered data sources.
 
@@ -95,76 +159,87 @@ class DITSGlobalIndex:
         self.leaf_capacity = leaf_capacity
         self._summaries: dict[str, SourceSummary] = {}
         self._root: _GlobalNode | None = None
+        self._dirty = False
+        self._rebuilds = 0
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # Registration
     # ------------------------------------------------------------------ #
     def register(self, summary: SourceSummary) -> None:
-        """Register or refresh a source's root summary and rebuild the tree.
+        """Register or refresh a source's root summary.
 
-        Rebuilding is cheap because the tree has one entry per *source*
-        (a handful), not per dataset.
+        The tree itself is only marked stale; the next query rebuilds it, so
+        a burst of registrations costs one reconstruction, not one each.
         """
-        self._summaries[summary.source_id] = summary
-        self._rebuild()
+        with self._lock:
+            self._summaries[summary.source_id] = summary
+            self._dirty = True
 
     def register_all(self, summaries: Iterable[SourceSummary]) -> None:
         """Register several summaries at once."""
-        for summary in summaries:
-            self._summaries[summary.source_id] = summary
-        self._rebuild()
+        with self._lock:
+            for summary in summaries:
+                self._summaries[summary.source_id] = summary
+            self._dirty = True
 
     def unregister(self, source_id: str) -> None:
-        """Remove a source from the global index."""
-        if source_id not in self._summaries:
-            raise SourceNotFoundError(source_id)
-        del self._summaries[source_id]
-        self._rebuild()
+        """Remove a source from the global index (tree rebuilt lazily)."""
+        with self._lock:
+            if source_id not in self._summaries:
+                raise SourceNotFoundError(source_id)
+            del self._summaries[source_id]
+            self._dirty = True
 
     def source_ids(self) -> list[str]:
         """IDs of all registered sources, sorted."""
-        return sorted(self._summaries)
+        with self._lock:
+            return sorted(self._summaries)
 
     def summary_of(self, source_id: str) -> SourceSummary:
         """The registered summary for ``source_id``."""
-        try:
-            return self._summaries[source_id]
-        except KeyError as exc:
-            raise SourceNotFoundError(source_id) from exc
+        with self._lock:
+            try:
+                return self._summaries[source_id]
+            except KeyError as exc:
+                raise SourceNotFoundError(source_id) from exc
 
     def __len__(self) -> int:
-        return len(self._summaries)
+        with self._lock:
+            return len(self._summaries)
 
     def __contains__(self, source_id: str) -> bool:
-        return source_id in self._summaries
+        with self._lock:
+            return source_id in self._summaries
 
     # ------------------------------------------------------------------ #
     # Tree construction
     # ------------------------------------------------------------------ #
-    def _rebuild(self) -> None:
-        summaries = list(self._summaries.values())
-        self._root = self._build(summaries) if summaries else None
+    def _ensure_built(self) -> _GlobalNode | None:
+        """Rebuild the tree if stale; returns the (possibly None) root."""
+        with self._lock:
+            if self._dirty:
+                summaries = list(self._summaries.values())
+                self._root = (
+                    build_summary_tree(summaries, self.leaf_capacity) if summaries else None
+                )
+                self._rebuilds += 1
+                self._dirty = False
+            return self._root
 
-    def _build(self, summaries: list[SourceSummary]) -> _GlobalNode:
-        rect = BoundingBox.union_of(summary.rect for summary in summaries)
-        if len(summaries) <= self.leaf_capacity:
-            return _GlobalNode(rect, summaries=summaries)
-        split_dim = 0 if rect.width >= rect.height else 1
-        ordered = sorted(
-            summaries,
-            key=lambda s: (s.pivot.x if split_dim == 0 else s.pivot.y, s.source_id),
-        )
-        midpoint = len(ordered) // 2
-        left = self._build(ordered[:midpoint])
-        right = self._build(ordered[midpoint:])
-        return _GlobalNode(rect, children=[left, right])
+    @property
+    def rebuild_count(self) -> int:
+        """How many times the tree has actually been reconstructed."""
+        with self._lock:
+            return self._rebuilds
 
     @property
     def root(self) -> _GlobalNode:
         """Root of the global tree; raises if no source is registered."""
-        if self._root is None:
+        root = self._ensure_built()
+        if root is None:
             raise IndexNotBuiltError("no data sources registered with the global index")
-        return self._root
+        return root
 
     # ------------------------------------------------------------------ #
     # Candidate-source selection (query distribution strategy 1)
@@ -187,38 +262,25 @@ class DITSGlobalIndex:
             pivot-distance lower bound to the query is within the threshold
             (the CJSP rule).
         """
-        if self._root is None:
-            return []
-        query_pivot = query_rect.center
-        query_radius = query_rect.radius
         candidates: list[SourceSummary] = []
-        stack = [self._root]
-        while stack:
-            node = stack.pop()
-            if not _may_contain_results(node.rect, query_rect, query_pivot, query_radius, delta_geo):
-                continue
-            if node.is_leaf():
-                for summary in node.summaries:
-                    if _may_contain_results(
-                        summary.rect, query_rect, query_pivot, query_radius, delta_geo
-                    ):
-                        candidates.append(summary)
-            else:
-                stack.extend(node.children)
+        collect_candidates(self._ensure_built(), query_rect, delta_geo, candidates)
         candidates.sort(key=lambda summary: summary.source_id)
         return candidates
 
     def all_summaries(self) -> Iterator[SourceSummary]:
         """Iterate over every registered summary (used by broadcast baselines)."""
-        for source_id in sorted(self._summaries):
-            yield self._summaries[source_id]
+        with self._lock:
+            snapshot = dict(self._summaries)
+        for source_id in sorted(snapshot):
+            yield snapshot[source_id]
 
     def node_count(self) -> int:
         """Number of nodes in the global tree."""
-        if self._root is None:
+        root = self._ensure_built()
+        if root is None:
             return 0
         count = 0
-        stack = [self._root]
+        stack = [root]
         while stack:
             node = stack.pop()
             count += 1
@@ -226,18 +288,45 @@ class DITSGlobalIndex:
         return count
 
 
-def _may_contain_results(
+def summary_may_contain(
     rect: BoundingBox,
     query_rect: BoundingBox,
     query_pivot: Point,
     query_radius: float,
     delta_geo: float,
 ) -> bool:
-    """Pruning predicate of Section VI-A applied to one tree node / summary."""
+    """Pruning predicate of Section VI-A applied to one source summary."""
     if rect.intersects(query_rect):
         return True
     if delta_geo <= 0:
         return False
     pivot_distance = rect.center.distance_to(query_pivot)
     lower_bound = max(pivot_distance - rect.radius - query_radius, 0.0)
+    return lower_bound <= delta_geo or math.isclose(lower_bound, delta_geo)
+
+
+def node_may_contain(
+    rect: BoundingBox,
+    query_rect: BoundingBox,
+    query_pivot: Point,
+    query_radius: float,
+    delta_geo: float,
+) -> bool:
+    """Whether a tree node could hold a summary passing :func:`summary_may_contain`.
+
+    For any summary under the node, the summary's pivot lies inside the node
+    rect and its radius is at most the node radius, so
+    ``min_distance_to_point(query_pivot) - rect.radius - query_radius`` is a
+    lower bound on every contained summary's own pruning bound.  Descending
+    on this weaker bound guarantees the candidate set equals the flat
+    per-summary filter regardless of how the summaries are split into nodes
+    (or into shards).
+    """
+    if rect.intersects(query_rect):
+        return True
+    if delta_geo <= 0:
+        return False
+    lower_bound = max(
+        rect.min_distance_to_point(query_pivot) - rect.radius - query_radius, 0.0
+    )
     return lower_bound <= delta_geo or math.isclose(lower_bound, delta_geo)

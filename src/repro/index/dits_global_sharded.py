@@ -1,0 +1,383 @@
+"""Sharded DITS-G: the global index partitioned for high registration churn.
+
+The monolithic :class:`~repro.index.dits_global.DITSGlobalIndex` rebuilds one
+tree over *every* registered source whenever the summary set changes, which
+is fine for the paper's five portals but not for a center tracking thousands
+of sources under churn.  :class:`ShardedDITSGlobalIndex` partitions the
+summaries into ``N`` shards by the z-order position of each summary's pivot
+(:class:`ShardPolicy`), keeps one DITS-G tree per shard, and
+
+* **registers incrementally** — a mutation only marks the touched shard
+  stale, so the next query rebuilds ``O(n/N)`` summaries instead of ``O(n)``
+  (``defer_rebuild=False`` additionally rebuilds the touched shard right
+  away, keeping queries rebuild-free);
+* **prunes in parallel** — ``candidate_sources`` fans the per-shard tree
+  traversals out over a
+  :class:`~repro.distributed.executor.SourceDispatcher`, the same machinery
+  the data center already uses for per-source request dispatch.
+
+Because tree-node pruning is never stricter than the per-summary predicate
+(see :func:`~repro.index.dits_global.node_may_contain`), the union of the
+per-shard candidate sets equals the monolithic candidate set for every shard
+count, and sorting by ``source_id`` reproduces the monolithic ordering
+bit-for-bit (``tests/index/test_dits_global_sharded.py`` enforces this).
+
+All public methods are thread-safe: registration takes the registry lock
+plus the touched shard's lock, while queries snapshot each shard's immutable
+tree under its lock and traverse lock-free, so concurrent queries and
+registrations never observe a half-built tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import threading
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.core.errors import IndexNotBuiltError, InvalidParameterError, SourceNotFoundError
+from repro.core.geometry import BoundingBox
+from repro.core.grid import WORLD_SPACE
+from repro.index.dits_global import (
+    DEFAULT_FANOUT,
+    SourceSummary,
+    build_summary_tree,
+    collect_candidates,
+)
+from repro.utils.zorder import zorder_encode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.distributed.executor import SourceDispatcher
+
+__all__ = ["ShardPolicy", "ShardedDITSGlobalIndex", "DEFAULT_PARALLEL_THRESHOLD"]
+
+#: Below this many registered sources the per-shard pruning runs serially;
+#: thread fan-out only pays for itself once the shards hold real work.
+DEFAULT_PARALLEL_THRESHOLD = 256
+
+
+@dataclass(frozen=True, slots=True)
+class ShardPolicy:
+    """How source summaries are partitioned across DITS-G shards.
+
+    Each summary's pivot is quantised onto a ``2**zorder_bits`` lattice over
+    ``space`` (pivots outside are clamped onto the boundary), z-order
+    encoded, and the Morton code modulo ``shard_count`` picks the shard.
+    Striding along the Morton curve keeps the assignment deterministic while
+    spreading pivots that land on *distinct* lattice cells evenly across
+    shards — including federations clustered in one corner of ``space`` —
+    which is what bounds the per-mutation rebuild to ``O(n / shard_count)``.
+    Pivots quantising to the *same* lattice cell necessarily share a shard;
+    if a federation is denser than the default ~0.35-degree world lattice,
+    narrow ``space`` to the deployment region (or raise ``zorder_bits``) to
+    restore balance.  Candidate pruning does not depend on which shard
+    holds a summary (the per-shard trees answer exactly the flat
+    predicate), so balance can be tuned freely.
+
+    Parameters
+    ----------
+    shard_count:
+        Number of shards (``1`` degenerates to a monolithic tree).
+    zorder_bits:
+        Quantisation resolution per axis for the pivot lattice (the default
+        resolves ~0.35 degrees over the globe).
+    space:
+        Reference space the lattice covers; defaults to the whole globe.
+        Narrow it to the federation's region when sources cluster tighter
+        than the lattice resolves.
+    defer_rebuild:
+        ``False`` (default) rebuilds a touched shard at registration time,
+        keeping queries rebuild-free.  ``True`` batches churn: mutations
+        only mark shards stale and the next query rebuilds every stale
+        shard once (in parallel when dispatch fans out).
+    """
+
+    shard_count: int = 4
+    zorder_bits: int = 10
+    space: BoundingBox = field(default=WORLD_SPACE)
+    defer_rebuild: bool = False
+
+    def __post_init__(self) -> None:
+        if self.shard_count < 1:
+            raise InvalidParameterError(
+                f"shard_count must be at least 1, got {self.shard_count}"
+            )
+        if not 1 <= self.zorder_bits <= 16:
+            raise InvalidParameterError(
+                f"zorder_bits must be in [1, 16], got {self.zorder_bits}"
+            )
+
+    def shard_of(self, summary: SourceSummary) -> int:
+        """Deterministic shard for ``summary`` (by z-order of its pivot)."""
+        if self.shard_count == 1:
+            return 0
+        pivot = summary.pivot
+        lattice = 1 << self.zorder_bits
+        fx = (pivot.x - self.space.min_x) / self.space.width
+        fy = (pivot.y - self.space.min_y) / self.space.height
+        ix = min(lattice - 1, max(0, int(fx * lattice)))
+        iy = min(lattice - 1, max(0, int(fy * lattice)))
+        return zorder_encode(ix, iy) % self.shard_count
+
+
+class _Shard:
+    """One shard: a summary registry plus its lazily rebuilt DITS-G tree."""
+
+    __slots__ = ("summaries", "root", "dirty", "rebuilds", "lock")
+
+    def __init__(self) -> None:
+        self.summaries: dict[str, SourceSummary] = {}
+        self.root = None
+        self.dirty = False
+        self.rebuilds = 0
+        self.lock = threading.Lock()
+
+    def ensure_built(self, leaf_capacity: int):
+        """Rebuild this shard's tree if stale; returns the immutable root."""
+        with self.lock:
+            if self.dirty:
+                values = list(self.summaries.values())
+                self.root = build_summary_tree(values, leaf_capacity) if values else None
+                self.rebuilds += 1
+                self.dirty = False
+            return self.root
+
+
+class ShardedDITSGlobalIndex:
+    """A drop-in DITS-G replacement that partitions summaries across shards.
+
+    Parameters
+    ----------
+    policy:
+        The :class:`ShardPolicy` mapping summaries to shards.
+    leaf_capacity:
+        Per-shard tree leaf capacity (same meaning as the monolithic index).
+    dispatcher:
+        Optional :class:`~repro.distributed.executor.SourceDispatcher` used
+        to fan per-shard pruning out across threads; ``None`` prunes the
+        shards serially.  The data center passes its own dispatcher so
+        global pruning shares the per-source request pool.
+    parallel_threshold:
+        Minimum number of registered sources before the dispatcher is used;
+        small federations prune faster serially.
+    """
+
+    def __init__(
+        self,
+        policy: ShardPolicy | None = None,
+        leaf_capacity: int = DEFAULT_FANOUT,
+        dispatcher: "SourceDispatcher | None" = None,
+        parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+    ) -> None:
+        if leaf_capacity <= 0:
+            raise InvalidParameterError(f"leaf capacity must be positive, got {leaf_capacity}")
+        self.policy = policy if policy is not None else ShardPolicy()
+        self.leaf_capacity = leaf_capacity
+        self.parallel_threshold = parallel_threshold
+        self._dispatcher = dispatcher
+        self._shards = [_Shard() for _ in range(self.policy.shard_count)]
+        self._shard_of_source: dict[str, int] = {}
+        self._summaries: dict[str, SourceSummary] = {}
+        self._lock = threading.RLock()
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards the summaries are partitioned into."""
+        return len(self._shards)
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register(self, summary: SourceSummary) -> None:
+        """Register or refresh a source's summary in its shard.
+
+        Only the touched shard (two, if a refreshed pivot migrates the
+        source to a different shard) is invalidated; every other shard's
+        tree is left untouched.
+        """
+        with self._lock:
+            self._place(summary)
+
+    def register_all(self, summaries: Iterable[SourceSummary]) -> None:
+        """Register several summaries at once (one rebuild per touched shard)."""
+        with self._lock:
+            for summary in summaries:
+                self._place(summary, defer=True)
+            if not self.policy.defer_rebuild:
+                for shard in self._shards:
+                    shard.ensure_built(self.leaf_capacity)
+
+    def unregister(self, source_id: str) -> None:
+        """Remove a source; only its shard is invalidated."""
+        with self._lock:
+            try:
+                shard_no = self._shard_of_source.pop(source_id)
+            except KeyError as exc:
+                raise SourceNotFoundError(source_id) from exc
+            del self._summaries[source_id]
+            shard = self._shards[shard_no]
+            with shard.lock:
+                del shard.summaries[source_id]
+                shard.dirty = True
+            if not self.policy.defer_rebuild:
+                shard.ensure_built(self.leaf_capacity)
+
+    def _place(self, summary: SourceSummary, defer: bool = False) -> None:
+        """Insert/refresh ``summary`` in its shard (registry lock held)."""
+        target = self.policy.shard_of(summary)
+        previous = self._shard_of_source.get(summary.source_id)
+        if previous is not None and previous != target:
+            old_shard = self._shards[previous]
+            with old_shard.lock:
+                del old_shard.summaries[summary.source_id]
+                old_shard.dirty = True
+            if not (defer or self.policy.defer_rebuild):
+                old_shard.ensure_built(self.leaf_capacity)
+        self._shard_of_source[summary.source_id] = target
+        self._summaries[summary.source_id] = summary
+        shard = self._shards[target]
+        with shard.lock:
+            shard.summaries[summary.source_id] = summary
+            shard.dirty = True
+        if not (defer or self.policy.defer_rebuild):
+            shard.ensure_built(self.leaf_capacity)
+
+    # ------------------------------------------------------------------ #
+    # Registry lookups (same surface as the monolithic index)
+    # ------------------------------------------------------------------ #
+    def source_ids(self) -> list[str]:
+        """IDs of all registered sources, sorted."""
+        with self._lock:
+            return sorted(self._summaries)
+
+    def summary_of(self, source_id: str) -> SourceSummary:
+        """The registered summary for ``source_id``."""
+        with self._lock:
+            try:
+                return self._summaries[source_id]
+            except KeyError as exc:
+                raise SourceNotFoundError(source_id) from exc
+
+    def shard_of(self, source_id: str) -> int:
+        """Which shard currently holds ``source_id``."""
+        with self._lock:
+            try:
+                return self._shard_of_source[source_id]
+            except KeyError as exc:
+                raise SourceNotFoundError(source_id) from exc
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._summaries)
+
+    def __contains__(self, source_id: str) -> bool:
+        with self._lock:
+            return source_id in self._summaries
+
+    # ------------------------------------------------------------------ #
+    # Candidate-source selection
+    # ------------------------------------------------------------------ #
+    def candidate_sources(
+        self,
+        query_rect: BoundingBox,
+        delta_geo: float = 0.0,
+    ) -> list[SourceSummary]:
+        """Union of per-shard candidates, ordered exactly like the monolith.
+
+        Each shard's tree is traversed independently (fanned out over the
+        dispatcher for large federations); because every source lives in
+        exactly one shard and node pruning matches the flat per-summary
+        predicate, concatenating the shard results and sorting by
+        ``source_id`` is bit-identical to the monolithic index.
+
+        A refresh that migrates a source between shards is not atomic with
+        respect to a concurrent query, which snapshots shards at different
+        instants: the query may observe the source in both shards (old and
+        new rect) or, briefly, in neither.  Duplicates are collapsed here —
+        keeping the first (and, quiescently, only) summary per source — so
+        a racing query never routes twice to one source; the transient-miss
+        window is the same a real deployment has between a source's
+        unregister and re-register messages.
+        """
+        candidates: list[SourceSummary] = []
+        if self._use_parallel():
+            per_shard = self._dispatcher.map(
+                lambda shard: self._collect_shard(shard, query_rect, delta_geo),
+                self._shards,
+            )
+            for chunk in per_shard:
+                candidates.extend(chunk)
+        else:
+            for shard in self._shards:
+                candidates.extend(self._collect_shard(shard, query_rect, delta_geo))
+        candidates.sort(key=lambda summary: summary.source_id)
+        return [
+            summary
+            for position, summary in enumerate(candidates)
+            if position == 0 or candidates[position - 1].source_id != summary.source_id
+        ]
+
+    def _collect_shard(
+        self, shard: _Shard, query_rect: BoundingBox, delta_geo: float
+    ) -> list[SourceSummary]:
+        out: list[SourceSummary] = []
+        collect_candidates(
+            shard.ensure_built(self.leaf_capacity), query_rect, delta_geo, out
+        )
+        return out
+
+    def _use_parallel(self) -> bool:
+        return (
+            self._dispatcher is not None
+            and len(self._shards) > 1
+            and len(self) >= self.parallel_threshold
+        )
+
+    def all_summaries(self) -> Iterator[SourceSummary]:
+        """Iterate over every registered summary (used by broadcast baselines)."""
+        with self._lock:
+            snapshot = dict(self._summaries)
+        for source_id in sorted(snapshot):
+            yield snapshot[source_id]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def root(self):
+        """Root of the first non-empty shard tree; raises when empty.
+
+        The sharded index has no single tree; this accessor exists for API
+        compatibility with code that only checks "is anything registered".
+        """
+        for shard in self._shards:
+            built = shard.ensure_built(self.leaf_capacity)
+            if built is not None:
+                return built
+        raise IndexNotBuiltError("no data sources registered with the global index")
+
+    def node_count(self) -> int:
+        """Total number of tree nodes across all shards."""
+        total = 0
+        for shard in self._shards:
+            root = shard.ensure_built(self.leaf_capacity)
+            if root is None:
+                continue
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                total += 1
+                stack.extend(node.children)
+        return total
+
+    @property
+    def rebuild_count(self) -> int:
+        """Total shard-tree reconstructions performed so far."""
+        return sum(shard.rebuilds for shard in self._shards)
+
+    def shard_sizes(self) -> list[int]:
+        """Number of sources currently held by each shard."""
+        with self._lock:
+            sizes = [0] * len(self._shards)
+            for shard_no in self._shard_of_source.values():
+                sizes[shard_no] += 1
+            return sizes

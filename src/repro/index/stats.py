@@ -12,12 +12,14 @@ from __future__ import annotations
 
 from repro.index.base import DatasetIndex
 from repro.index.dits import DITSLocalIndex
+from repro.index.dits_global import DITSGlobalIndex
+from repro.index.dits_global_sharded import ShardedDITSGlobalIndex
 from repro.index.inverted import STS3Index
 from repro.index.josie import JosieIndex
 from repro.index.quadtree import QuadTreeIndex
 from repro.index.rtree import RTreeIndex
 
-__all__ = ["index_memory_bytes"]
+__all__ = ["index_memory_bytes", "global_index_stats"]
 
 #: Cost model (bytes) for logical index components.
 _TREE_NODE_BYTES = 64          # MBR (4 floats) + pivot/radius + pointers
@@ -26,6 +28,7 @@ _JOSIE_POSTING_BYTES = 20      # dataset reference + position + size
 _CELL_KEY_BYTES = 8            # one cell ID key
 _DATASET_ENTRY_BYTES = 48      # dataset node reference stored in a leaf
 _QUAD_ITEM_BYTES = 24          # (cell, dataset, position) item
+_SUMMARY_BYTES = 56            # source id reference + MBR + dataset count
 
 
 def index_memory_bytes(index: DatasetIndex) -> int:
@@ -78,3 +81,24 @@ def _josie_cells(index: JosieIndex):
 
 def _sts3_bytes(index: STS3Index) -> int:
     return index.distinct_cells() * _CELL_KEY_BYTES + index.posting_count() * _POSTING_BYTES
+
+
+def global_index_stats(index: DITSGlobalIndex | ShardedDITSGlobalIndex) -> dict:
+    """Shape and footprint of a DITS-G variant, for dashboards and the CLI.
+
+    Works for both the monolithic and the sharded global index; the sharded
+    variant additionally reports its shard count and per-shard source
+    distribution.
+    """
+    node_count = index.node_count()
+    stats: dict = {
+        "variant": "sharded" if isinstance(index, ShardedDITSGlobalIndex) else "monolithic",
+        "sources": len(index),
+        "tree_nodes": node_count,
+        "rebuilds": index.rebuild_count,
+        "memory_bytes": node_count * _TREE_NODE_BYTES + len(index) * _SUMMARY_BYTES,
+    }
+    if isinstance(index, ShardedDITSGlobalIndex):
+        stats["shard_count"] = index.shard_count
+        stats["shard_sizes"] = index.shard_sizes()
+    return stats

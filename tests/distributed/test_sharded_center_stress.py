@@ -1,0 +1,185 @@
+"""Thread-safety stress tests for the sharded DITS-G center.
+
+The sharded global index rebuilds shard trees lazily, which turns queries
+into writers; these tests race concurrent ``candidate_sources`` calls
+(fanned out over an :class:`ExecutionPolicy` thread pool) against
+registration/unregistration churn, both on the raw index and through a full
+:class:`MultiSourceFramework`, and assert that nothing crashes, no source is
+lost and the final state answers queries exactly like a freshly built
+reference.  Mirrors the serial-vs-parallel parity harness in
+``tests/distributed/test_parallel_dispatch.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import BoundingBox
+from repro.data.sources import SOURCE_PROFILES, build_source_datasets
+from repro.distributed.executor import ExecutionPolicy, SourceDispatcher
+from repro.distributed.framework import MultiSourceFramework
+from repro.index.dits_global import DITSGlobalIndex, SourceSummary
+from repro.index.dits_global_sharded import ShardedDITSGlobalIndex, ShardPolicy
+
+REGION = BoundingBox(-100.0, 20.0, -60.0, 50.0)
+
+
+def random_summary(rng: np.random.Generator, ident: int) -> SourceSummary:
+    cx = rng.uniform(REGION.min_x, REGION.max_x)
+    cy = rng.uniform(REGION.min_y, REGION.max_y)
+    half = rng.uniform(0.2, 4.0)
+    return SourceSummary(
+        source_id=f"s{ident:05d}",
+        rect=BoundingBox(cx - half, cy - half, cx + half, cy + half),
+        dataset_count=int(rng.integers(1, 100)),
+    )
+
+
+@pytest.mark.parametrize("defer_rebuild", [False, True], ids=["eager", "deferred"])
+def test_raw_index_queries_race_churn(defer_rebuild):
+    """Concurrent candidate_sources vs register/unregister churn on the index."""
+    policy = ShardPolicy(shard_count=8, defer_rebuild=defer_rebuild)
+    with SourceDispatcher(ExecutionPolicy(max_workers=4)) as dispatcher:
+        index = ShardedDITSGlobalIndex(
+            policy, leaf_capacity=4, dispatcher=dispatcher, parallel_threshold=1
+        )
+        seed_rng = np.random.default_rng(0)
+        base = [random_summary(seed_rng, i) for i in range(120)]
+        index.register_all(base)
+
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def query_loop(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            try:
+                while not stop.is_set():
+                    cx = rng.uniform(REGION.min_x, REGION.max_x)
+                    cy = rng.uniform(REGION.min_y, REGION.max_y)
+                    rect = BoundingBox(cx - 2, cy - 2, cx + 2, cy + 2)
+                    seen = [c.source_id for c in index.candidate_sources(rect, delta_geo=1.5)]
+                    # A migrating source must never be routed to twice.
+                    assert len(seen) == len(set(seen))
+                    assert all(source_id.startswith("s") for source_id in seen)
+            except BaseException as exc:  # noqa: BLE001 - repanic in main thread
+                errors.append(exc)
+
+        workers = [threading.Thread(target=query_loop, args=(17 + t,)) for t in range(4)]
+        for worker in workers:
+            worker.start()
+
+        churn_rng = np.random.default_rng(99)
+        live = [s.source_id for s in base]
+        next_id = len(base)
+        for _ in range(400):
+            op = churn_rng.random()
+            if op < 0.35 and len(live) > 20:
+                victim = live.pop(int(churn_rng.integers(len(live))))
+                index.unregister(victim)
+            elif op < 0.65 and live:
+                # Refresh with a far-moved rect: forces cross-shard
+                # migrations to race the concurrent queries.
+                victim = live[int(churn_rng.integers(len(live)))]
+                moved = random_summary(churn_rng, 0)
+                index.register(
+                    SourceSummary(victim, moved.rect, moved.dataset_count)
+                )
+            else:
+                summary = random_summary(churn_rng, next_id)
+                next_id += 1
+                live.append(summary.source_id)
+                index.register(summary)
+        stop.set()
+        for worker in workers:
+            worker.join(timeout=30)
+        assert not errors, errors[0]
+
+        # Final state must match a reference index built from scratch.
+        reference = DITSGlobalIndex(leaf_capacity=4)
+        reference.register_all(index.summary_of(source_id) for source_id in live)
+        assert index.source_ids() == sorted(live)
+        assert sum(index.shard_sizes()) == len(live)
+        probe = BoundingBox(REGION.min_x, REGION.min_y, REGION.max_x, REGION.max_y)
+        assert index.candidate_sources(probe, 2.0) == reference.candidate_sources(probe, 2.0)
+
+
+def _federation_sources(count: int, seed: int):
+    names = list(SOURCE_PROFILES)
+    for i in range(count):
+        profile = SOURCE_PROFILES[names[i % len(names)]]
+        yield f"src-{i}", build_source_datasets(
+            profile, scale=0.003, seed=seed + i, min_datasets=6
+        )
+
+
+def test_center_queries_race_registrations():
+    """Parallel searches keep working while new sources register mid-flight."""
+    framework = MultiSourceFramework(
+        theta=10,
+        execution=ExecutionPolicy(max_workers=6),
+        shard_policy=ShardPolicy(shard_count=8),
+    )
+    sources = list(_federation_sources(10, seed=41))
+    for name, datasets in sources[:4]:
+        framework.add_source(name, datasets)
+
+    rng = np.random.default_rng(7)
+    profile = SOURCE_PROFILES["Transit"]
+    queries = []
+    for i in range(6):
+        points = np.column_stack(
+            [
+                rng.uniform(profile.region.min_x, profile.region.max_x, size=30),
+                rng.uniform(profile.region.min_y, profile.region.max_y, size=30),
+            ]
+        )
+        queries.append(framework.query_from_points(points.tolist(), query_id=f"q{i}"))
+
+    errors: list[BaseException] = []
+    stop = threading.Event()
+
+    def search_loop(offset: int) -> None:
+        try:
+            while not stop.is_set():
+                query = queries[offset % len(queries)]
+                result = framework.overlap_search(query, k=4)
+                known = set(framework.source_ids())
+                assert {e.source_id for e in result.entries} <= known
+                coverage = framework.coverage_search(query, k=3, delta=6.0)
+                assert {e.source_id for e in coverage.entries} <= known
+        except BaseException as exc:  # noqa: BLE001 - repanic in main thread
+            errors.append(exc)
+
+    workers = [threading.Thread(target=search_loop, args=(t,)) for t in range(3)]
+    for worker in workers:
+        worker.start()
+    try:
+        for name, datasets in sources[4:]:
+            framework.add_source(name, datasets)
+        for name, _ in sources[:3]:
+            framework.center.refresh_source(name)
+    finally:
+        stop.set()
+        for worker in workers:
+            worker.join(timeout=60)
+    assert not errors, errors[0]
+
+    # After the dust settles, results equal a serial, freshly built center.
+    reference = MultiSourceFramework(
+        theta=10,
+        execution=ExecutionPolicy.serial(),
+        shard_policy=ShardPolicy(shard_count=1),
+    )
+    for name, datasets in sources:
+        reference.add_source(name, datasets)
+    for query in queries:
+        got = framework.overlap_search(query, k=4)
+        want = reference.overlap_search(query, k=4)
+        assert [(e.dataset_id, e.score, e.source_id) for e in got.entries] == [
+            (e.dataset_id, e.score, e.source_id) for e in want.entries
+        ]
+    framework.close()
+    reference.close()

@@ -115,6 +115,55 @@ class TestCandidateSelection:
         assert len(candidates) == 3
 
 
+class TestLazyRebuilds:
+    """Mutations must not reconstruct the tree; the next query does, once."""
+
+    def build_queryable(self) -> DITSGlobalIndex:
+        index = DITSGlobalIndex(leaf_capacity=2)
+        index.register_all([summary(f"s{i}", i * 10, 0, i * 10 + 5, 5) for i in range(8)])
+        return index
+
+    def test_registration_burst_costs_one_rebuild(self):
+        index = self.build_queryable()
+        assert index.rebuild_count == 0
+        index.candidate_sources(BoundingBox(0, 0, 100, 10))
+        assert index.rebuild_count == 1
+        # Clean index: further queries reuse the tree.
+        index.candidate_sources(BoundingBox(0, 0, 100, 10))
+        index.candidate_sources(BoundingBox(2, 2, 3, 3), delta_geo=4.0)
+        assert index.node_count() > 1
+        assert index.rebuild_count == 1
+
+    def test_unregister_rebuilds_lazily_on_next_query(self):
+        index = self.build_queryable()
+        index.candidate_sources(BoundingBox(0, 0, 100, 10))
+        assert index.rebuild_count == 1
+        index.unregister("s3")
+        index.unregister("s5")
+        assert index.rebuild_count == 1  # nothing rebuilt yet
+        hits = index.candidate_sources(BoundingBox(0, 0, 100, 10))
+        assert index.rebuild_count == 2  # both removals amortised into one
+        assert "s3" not in [s.source_id for s in hits]
+        assert len(hits) == 6
+
+    def test_interleaved_churn_counts_one_rebuild_per_query(self):
+        index = self.build_queryable()
+        for round_no in range(3):
+            index.register(summary(f"extra{round_no}", 200 + round_no, 0, 201 + round_no, 1))
+            index.unregister(f"s{round_no}")
+            index.candidate_sources(BoundingBox(0, 0, 300, 10))
+            assert index.rebuild_count == round_no + 1
+
+    def test_registry_reads_do_not_rebuild(self):
+        index = self.build_queryable()
+        assert index.source_ids()
+        assert index.summary_of("s0").dataset_count == 10
+        assert len(index) == 8
+        assert "s1" in index
+        assert list(index.all_summaries())
+        assert index.rebuild_count == 0
+
+
 class TestSourceSummary:
     def test_derived_quantities(self):
         s = summary("s", 0, 0, 4, 3)

@@ -1,0 +1,131 @@
+"""Edge-case behaviour shared by both DITS-G variants.
+
+Every test runs against the monolithic index and several sharded
+configurations (single shard, many shards, deferred rebuilds), so the two
+implementations cannot drift apart on the awkward inputs: empty indexes,
+every summary landing in one shard, re-registering an existing source and
+unregistering the last one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import IndexNotBuiltError, SourceNotFoundError
+from repro.core.geometry import BoundingBox
+from repro.index.dits_global import DITSGlobalIndex, SourceSummary
+from repro.index.dits_global_sharded import ShardedDITSGlobalIndex, ShardPolicy
+
+VARIANTS = {
+    "monolithic": lambda: DITSGlobalIndex(leaf_capacity=2),
+    "sharded-1": lambda: ShardedDITSGlobalIndex(ShardPolicy(shard_count=1), leaf_capacity=2),
+    "sharded-5": lambda: ShardedDITSGlobalIndex(ShardPolicy(shard_count=5), leaf_capacity=2),
+    "sharded-16-deferred": lambda: ShardedDITSGlobalIndex(
+        ShardPolicy(shard_count=16, defer_rebuild=True), leaf_capacity=2
+    ),
+}
+
+
+@pytest.fixture(params=sorted(VARIANTS), ids=sorted(VARIANTS))
+def index(request):
+    return VARIANTS[request.param]()
+
+
+def summary(source_id: str, min_x, min_y, max_x, max_y, count=5) -> SourceSummary:
+    return SourceSummary(
+        source_id=source_id, rect=BoundingBox(min_x, min_y, max_x, max_y), dataset_count=count
+    )
+
+
+EVERYWHERE = BoundingBox(-180.0, -90.0, 180.0, 90.0)
+
+
+class TestEmptyIndex:
+    def test_no_candidates(self, index):
+        assert index.candidate_sources(BoundingBox(0, 0, 1, 1)) == []
+        assert index.candidate_sources(BoundingBox(0, 0, 1, 1), delta_geo=50.0) == []
+
+    def test_registry_empty(self, index):
+        assert len(index) == 0
+        assert index.source_ids() == []
+        assert list(index.all_summaries()) == []
+        assert index.node_count() == 0
+        assert "anything" not in index
+
+    def test_root_raises(self, index):
+        with pytest.raises(IndexNotBuiltError):
+            _ = index.root
+
+    def test_unregister_unknown_raises(self, index):
+        with pytest.raises(SourceNotFoundError):
+            index.unregister("ghost")
+
+    def test_summary_of_unknown_raises(self, index):
+        with pytest.raises(SourceNotFoundError):
+            index.summary_of("ghost")
+
+
+class TestLastSource:
+    def test_unregister_last_source_empties_index(self, index):
+        index.register(summary("only", 0, 0, 2, 2))
+        assert index.candidate_sources(BoundingBox(1, 1, 3, 3)) != []
+        index.unregister("only")
+        assert len(index) == 0
+        assert index.candidate_sources(BoundingBox(1, 1, 3, 3)) == []
+        assert index.node_count() == 0
+        with pytest.raises(IndexNotBuiltError):
+            _ = index.root
+        # The index remains usable after being emptied.
+        index.register(summary("again", 5, 5, 6, 6))
+        assert [s.source_id for s in index.candidate_sources(EVERYWHERE)] == ["again"]
+
+
+class TestReRegistration:
+    def test_re_register_updates_in_place(self, index):
+        index.register(summary("dup", 0, 0, 1, 1, count=3))
+        index.register(summary("dup", 10, 10, 11, 11, count=9))
+        assert len(index) == 1
+        assert index.summary_of("dup").dataset_count == 9
+        # The old region no longer matches; the new one does.
+        assert index.candidate_sources(BoundingBox(-1, -1, 2, 2)) == []
+        hits = index.candidate_sources(BoundingBox(9, 9, 12, 12))
+        assert [s.source_id for s in hits] == ["dup"]
+
+    def test_re_register_same_rect_is_idempotent(self, index):
+        s = summary("same", 0, 0, 4, 4)
+        index.register(s)
+        index.register(s)
+        assert len(index) == 1
+        assert [c.source_id for c in index.candidate_sources(EVERYWHERE)] == ["same"]
+
+
+class TestDegenerateDistributions:
+    def test_coincident_pivots_land_together(self, index):
+        # Identical MBRs -> identical pivots; in a sharded index they all
+        # land in one shard, every other shard stays empty.
+        for i in range(10):
+            index.register(summary(f"stack{i}", 7, 7, 9, 9))
+        hits = index.candidate_sources(BoundingBox(8, 8, 8.5, 8.5))
+        assert [s.source_id for s in hits] == [f"stack{i}" for i in range(10)]
+        if isinstance(index, ShardedDITSGlobalIndex):
+            sizes = index.shard_sizes()
+            assert sorted(sizes, reverse=True)[0] == 10
+            assert sum(1 for size in sizes if size) == 1
+
+    def test_more_shards_than_sources(self, index):
+        index.register(summary("a", 0, 0, 1, 1))
+        index.register(summary("b", 50, 50, 51, 51))
+        hits = index.candidate_sources(EVERYWHERE)
+        assert [s.source_id for s in hits] == ["a", "b"]
+        if isinstance(index, ShardedDITSGlobalIndex):
+            assert sum(index.shard_sizes()) == 2
+
+    def test_delta_reaches_across_empty_space(self, index):
+        index.register(summary("west", 0, 0, 1, 1))
+        index.register(summary("east", 30, 0, 31, 1))
+        near_west = BoundingBox(3, 0, 4, 1)
+        assert index.candidate_sources(near_west) == []
+        reached = index.candidate_sources(near_west, delta_geo=5.0)
+        assert [s.source_id for s in reached] == ["west"]
+        both = index.candidate_sources(near_west, delta_geo=40.0)
+        assert [s.source_id for s in both] == ["east", "west"]

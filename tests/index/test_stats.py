@@ -9,7 +9,9 @@ from repro.core.dataset import DatasetNode
 from repro.core.geometry import BoundingBox
 from repro.core.grid import Grid
 from repro.index import DATASET_INDEX_CLASSES
-from repro.index.stats import index_memory_bytes
+from repro.index.dits_global import DITSGlobalIndex, SourceSummary
+from repro.index.dits_global_sharded import ShardedDITSGlobalIndex, ShardPolicy
+from repro.index.stats import global_index_stats, index_memory_bytes
 
 GRID = Grid(theta=8, space=BoundingBox(0, 0, 256, 256))
 
@@ -75,3 +77,42 @@ class TestIndexMemory:
         index = DITSLocalIndex()
         index.build([])
         assert index_memory_bytes(index) == 0
+
+
+def global_summaries(count: int) -> list[SourceSummary]:
+    return [
+        SourceSummary(f"g{i}", BoundingBox(i * 5.0, 0.0, i * 5.0 + 2.0, 2.0), 10)
+        for i in range(count)
+    ]
+
+
+class TestGlobalIndexStats:
+    def test_monolithic_stats(self):
+        index = DITSGlobalIndex(leaf_capacity=2)
+        index.register_all(global_summaries(6))
+        stats = global_index_stats(index)
+        assert stats["variant"] == "monolithic"
+        assert stats["sources"] == 6
+        assert stats["tree_nodes"] == index.node_count() > 1
+        assert stats["rebuilds"] == 1  # node_count forced the single build
+        assert stats["memory_bytes"] > 0
+        assert "shard_count" not in stats
+
+    def test_sharded_stats(self):
+        index = ShardedDITSGlobalIndex(ShardPolicy(shard_count=4), leaf_capacity=2)
+        index.register_all(global_summaries(8))
+        stats = global_index_stats(index)
+        assert stats["variant"] == "sharded"
+        assert stats["sources"] == 8
+        assert stats["shard_count"] == 4
+        assert sum(stats["shard_sizes"]) == 8
+        assert stats["tree_nodes"] == index.node_count()
+        assert stats["rebuilds"] >= 1
+        assert stats["memory_bytes"] > 0
+
+    def test_empty_indexes(self):
+        for index in (DITSGlobalIndex(), ShardedDITSGlobalIndex()):
+            stats = global_index_stats(index)
+            assert stats["sources"] == 0
+            assert stats["tree_nodes"] == 0
+            assert stats["memory_bytes"] == 0

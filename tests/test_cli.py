@@ -45,6 +45,12 @@ class TestParser:
         )
         assert args.delta == pytest.approx(3.5)
 
+    def test_federate_defaults(self):
+        args = build_parser().parse_args(["federate", "--corpus", "c", "--query", "q"])
+        assert args.sources == 3
+        assert args.shards == 4
+        assert args.mode == "overlap"
+
 
 class TestGenerate:
     def test_writes_csv_files(self, corpus_dir):
@@ -95,6 +101,80 @@ class TestSearchCommands:
         output = capsys.readouterr().out
         assert "corpus statistics" in output
         assert "build_ms" in output
+
+    def test_federate_overlap_reports_shards(self, corpus_dir, query_file, capsys):
+        exit_code = main(
+            [
+                "federate",
+                "--corpus", str(corpus_dir),
+                "--query", str(query_file),
+                "--sources", "3",
+                "--shards", "5",
+                "--k", "3",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "federated OJSP top-3 (3 sources)" in output
+        assert "DITS-G global index" in output
+        assert "rebuilds" in output
+        assert "communication:" in output
+        assert "src-" in output  # results carry the owning source
+
+    def test_federate_coverage_mode(self, corpus_dir, query_file, capsys):
+        exit_code = main(
+            [
+                "federate",
+                "--corpus", str(corpus_dir),
+                "--query", str(query_file),
+                "--mode", "coverage",
+                "--sources", "2",
+                "--shards", "2",
+                "--k", "3",
+                "--delta", "8",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "federated CJSP selection" in output
+        assert "marginal_gain" in output
+
+    def test_federate_matches_single_source_overlap(self, corpus_dir, query_file, capsys):
+        """One source, one shard reproduces the single-machine ranking."""
+        assert main(
+            ["overlap", "--corpus", str(corpus_dir), "--query", str(query_file), "--k", "3"]
+        ) == 0
+        single = capsys.readouterr().out
+        assert main(
+            [
+                "federate",
+                "--corpus", str(corpus_dir),
+                "--query", str(query_file),
+                "--sources", "1",
+                "--shards", "1",
+                "--k", "3",
+            ]
+        ) == 0
+        federated = capsys.readouterr().out
+        import re
+
+        def ranked(text):
+            return re.findall(r"\w+-D\d+", text)
+
+        assert ranked(single), "expected ranked dataset IDs in the single-source table"
+        assert ranked(federated) == ranked(single)
+
+    @pytest.mark.parametrize("flag", ["--sources", "--shards"])
+    def test_federate_rejects_zero_counts(self, corpus_dir, query_file, flag):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "federate",
+                    "--corpus", str(corpus_dir),
+                    "--query", str(query_file),
+                    flag, "0",
+                ]
+            )
 
     def test_missing_corpus_errors(self, tmp_path, query_file):
         empty = tmp_path / "empty"

@@ -22,6 +22,7 @@ PUBLIC_MODULES = [
     "repro.index",
     "repro.index.dits",
     "repro.index.dits_global",
+    "repro.index.dits_global_sharded",
     "repro.search",
     "repro.search.overlap",
     "repro.search.coverage",
