@@ -60,6 +60,18 @@ from conftest import (  # noqa: E402  (path set up above)
 )
 
 from repro.bench import experiments  # noqa: E402
+from repro.index.stats import distance_engine_stats  # noqa: E402
+
+#: Monotone distance-engine counters reported per figure as deltas.
+_ENGINE_COUNTERS = (
+    "hits",
+    "misses",
+    "evictions",
+    "invalidations",
+    "trees_built",
+    "batch_queries",
+    "pair_queries",
+)
 
 #: Figure name -> zero-argument callable running the sweep.
 SWEEPS = {
@@ -122,10 +134,16 @@ def run(figures: list[str], include_rows: bool, baseline: dict | None = None) ->
     for name in figures:
         sweep = SWEEPS[name]
         print(f"[run_bench] {name} ...", flush=True)
+        engine_before = distance_engine_stats()
         start = time.perf_counter()
         rows = sweep()
         wall_s = time.perf_counter() - start
+        engine_after = distance_engine_stats()
         entry: dict = {"wall_s": round(wall_s, 3)}
+        entry["distance_engine"] = {
+            key: engine_after[key] - engine_before[key] for key in _ENGINE_COUNTERS
+        }
+        entry["distance_engine"]["currsize"] = engine_after["currsize"]
         reference = baseline_figures.get(name, {}).get("wall_s")
         if reference:
             entry["seed_wall_s"] = reference

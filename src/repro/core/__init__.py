@@ -9,6 +9,8 @@ This subpackage contains the paper's primary abstractions:
   dataset nodes stored in DITS (Definitions 2, 5 and 12).
 * :mod:`repro.core.distance` — cell-based dataset distance and the node
   distance bounds of Lemma 4 (Definition 6).
+* :mod:`repro.core.distance_engine` — batched one-vs-many exact distance
+  kernels with bounded per-dataset geometry caching.
 * :mod:`repro.core.connectivity` — direct/indirect connectivity and the
   spatial connectivity predicate (Definitions 7–9).
 * :mod:`repro.core.problems` — OJSP and CJSP problem statements, exact
@@ -26,6 +28,7 @@ from repro.core.distance import (
     cell_set_distance,
     node_distance_bounds,
 )
+from repro.core.distance_engine import DistanceEngine, get_engine, set_engine
 from repro.core.errors import (
     DatasetNotFoundError,
     EmptyDatasetError,
@@ -52,6 +55,7 @@ __all__ = [
     "CoverageResult",
     "DatasetNode",
     "DatasetNotFoundError",
+    "DistanceEngine",
     "EmptyDatasetError",
     "Grid",
     "InvalidParameterError",
@@ -63,8 +67,10 @@ __all__ = [
     "cell_distance",
     "cell_set_distance",
     "coverage_of",
+    "get_engine",
     "is_directly_connected",
     "marginal_gain",
+    "set_engine",
     "node_distance_bounds",
     "overlap_of",
     "satisfies_spatial_connectivity",

@@ -17,10 +17,10 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.core.dataset import DatasetNode
 from repro.core.distance import (
-    exact_node_distance,
     node_distance_lower_bound,
     node_distance_upper_bound,
 )
+from repro.core.distance_engine import get_engine
 from repro.core.errors import InvalidParameterError
 
 __all__ = [
@@ -37,7 +37,9 @@ def is_directly_connected(node_a: DatasetNode, node_b: DatasetNode, delta: float
     The Lemma 4 bounds are used to avoid the exact (quadratic) distance
     whenever they are decisive: if even the upper bound is within ``delta``
     the nodes must be connected, and if the lower bound already exceeds
-    ``delta`` they cannot be.
+    ``delta`` they cannot be.  Border cases fall through to the distance
+    engine's δ-bounded exact predicate, which stops as soon as any cell pair
+    is within ``delta`` instead of computing the true minimum.
     """
     if delta < 0:
         raise InvalidParameterError(f"delta must be non-negative, got {delta}")
@@ -45,7 +47,7 @@ def is_directly_connected(node_a: DatasetNode, node_b: DatasetNode, delta: float
         return True
     if node_distance_lower_bound(node_a, node_b) > delta:
         return False
-    return exact_node_distance(node_a, node_b) <= delta
+    return get_engine().within_delta(node_a, node_b, delta)
 
 
 def connected_components(
@@ -120,14 +122,19 @@ class ConnectivityGraph:
         return node_id in self._nodes
 
     def add_node(self, node: DatasetNode) -> set[str]:
-        """Add ``node`` and return the IDs it is directly connected to."""
+        """Add ``node`` and return the IDs it is directly connected to.
+
+        The candidate frontier is batched: the Lemma 4 bounds settle most
+        existing nodes, and the undecided remainder is resolved with one
+        vectorized δ-bounded engine call instead of per-pair exact distances.
+        """
         if node.dataset_id in self._nodes:
             return set(self._adjacency[node.dataset_id])
-        neighbours = {
-            other_id
-            for other_id, other in self._nodes.items()
-            if is_directly_connected(node, other, self._delta)
-        }
+        neighbours: set[str] = set()
+        if self._nodes:
+            others = list(self._nodes.values())
+            mask = get_engine().connected_mask(node, others, self._delta)
+            neighbours = {other.dataset_id for other, ok in zip(others, mask) if ok}
         self._nodes[node.dataset_id] = node
         self._parent[node.dataset_id] = node.dataset_id
         self._rank[node.dataset_id] = 0

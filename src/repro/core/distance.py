@@ -15,16 +15,20 @@ or reject them (lower bound > delta) without touching individual cells.
 from __future__ import annotations
 
 import math
-from functools import lru_cache
 from typing import Iterable
 
 import numpy as np
-from scipy.spatial import cKDTree
 
 from repro.core.dataset import DatasetNode
+from repro.core.distance_engine import (
+    cell_coords_of_array,
+    get_engine,
+    min_coords_distance,
+)
 from repro.core.errors import EmptyDatasetError
 from repro.core.grid import Grid
-from repro.utils.zorder import zorder_decode, zorder_decode_batch
+from repro.utils import cellsets
+from repro.utils.zorder import zorder_decode
 
 __all__ = [
     "cell_distance",
@@ -48,23 +52,6 @@ def cell_distance(cell_a: int, cell_b: int) -> float:
     return math.hypot(ax - bx, ay - by)
 
 
-#: Below this pairwise-comparison count the pure-Python loop beats building a
-#: KD-tree; above it the vectorised nearest-neighbour query wins by orders of
-#: magnitude on the large, world-spanning cell sets of the synthetic portals.
-_KDTREE_PAIR_THRESHOLD = 2_048
-
-
-@lru_cache(maxsize=8_192)
-def _cell_coords_array(cells: frozenset[int]) -> np.ndarray:
-    """Decoded ``(x, y)`` grid coordinates of ``cells`` as a float array (cached)."""
-    codes = np.fromiter(cells, dtype=np.int64, count=len(cells))
-    xs, ys = zorder_decode_batch(codes)
-    coords = np.empty((len(cells), 2), dtype=np.float64)
-    coords[:, 0] = xs
-    coords[:, 1] = ys
-    return coords
-
-
 def cell_set_distance(cells_a: Iterable[int], cells_b: Iterable[int]) -> float:
     """Exact distance between two cell-based datasets (Definition 6).
 
@@ -76,6 +63,10 @@ def cell_set_distance(cells_a: Iterable[int], cells_b: Iterable[int]) -> float:
     portals tractable.  Grid coordinates are integers, so the squared
     distances are exact in float64 and both paths return bit-identical
     results.
+
+    This is the stateless reference kernel for raw cell-ID iterables;
+    node-level callers go through :class:`~repro.core.distance_engine.DistanceEngine`,
+    which caches decoded coordinates and KD-trees per dataset id.
     """
     set_a = cells_a if isinstance(cells_a, frozenset) else frozenset(cells_a)
     set_b = cells_b if isinstance(cells_b, frozenset) else frozenset(cells_b)
@@ -83,25 +74,19 @@ def cell_set_distance(cells_a: Iterable[int], cells_b: Iterable[int]) -> float:
         raise EmptyDatasetError("cell set distance requires two non-empty sets")
     if set_a & set_b:
         return 0.0
-
-    if len(set_a) * len(set_b) <= _KDTREE_PAIR_THRESHOLD:
-        coords_a = _cell_coords_array(set_a)
-        coords_b = _cell_coords_array(set_b)
-        deltas = coords_a[:, None, :] - coords_b[None, :, :]
-        squared = np.einsum("ijk,ijk->ij", deltas, deltas)
-        return float(math.sqrt(squared.min()))
-
-    # Build the tree over the smaller set and query with the larger one.
-    if len(set_a) > len(set_b):
-        set_a, set_b = set_b, set_a
-    tree = cKDTree(_cell_coords_array(set_a))
-    distances, _ = tree.query(_cell_coords_array(set_b), k=1)
-    return float(distances.min())
+    return min_coords_distance(
+        cell_coords_of_array(cellsets.as_cell_array(set_a)),
+        cell_coords_of_array(cellsets.as_cell_array(set_b)),
+    )
 
 
 def exact_node_distance(node_a: DatasetNode, node_b: DatasetNode) -> float:
-    """Exact cell-based distance between the cells of two dataset nodes."""
-    return cell_set_distance(node_a.cells, node_b.cells)
+    """Exact cell-based distance between the cells of two dataset nodes.
+
+    Delegates to the default :class:`~repro.core.distance_engine.DistanceEngine`
+    so decoded coordinates and KD-trees are reused across calls.
+    """
+    return get_engine().pair_distance(node_a, node_b)
 
 
 def node_distance_lower_bound(node_a: DatasetNode, node_b: DatasetNode) -> float:
@@ -132,16 +117,23 @@ def point_set_distance(
     Provided for completeness (e.g. validating the grid discretisation in
     tests); the search algorithms themselves only use cell distances.
     """
-    list_a = list(points_a)
-    list_b = list(points_b)
-    if not list_a or not list_b:
+    array_a = np.asarray([tuple(point) for point in points_a], dtype=np.float64)
+    array_b = np.asarray([tuple(point) for point in points_b], dtype=np.float64)
+    if array_a.size == 0 or array_b.size == 0:
         raise EmptyDatasetError("point set distance requires two non-empty sets")
+    array_a = array_a.reshape(len(array_a), 2)
+    array_b = array_b.reshape(len(array_b), 2)
+    # Raw points are arbitrary floats, so unlike the integer-grid kernels this
+    # keeps the scalar path's ``hypot`` semantics: correctly rounded and safe
+    # from overflow when squaring large coordinates.  The broadcast runs in
+    # row blocks so memory stays bounded for large point sets.
+    rows_per_block = max(1, 131_072 // len(array_b))
     best = math.inf
-    for ax, ay in list_a:
-        for bx, by in list_b:
-            d = math.hypot(ax - bx, ay - by)
-            if d < best:
-                best = d
+    for start in range(0, len(array_a), rows_per_block):
+        block = array_a[start : start + rows_per_block]
+        dx = block[:, None, 0] - array_b[None, :, 0]
+        dy = block[:, None, 1] - array_b[None, :, 1]
+        best = min(best, float(np.hypot(dx, dy).min()))
     return best
 
 
@@ -149,6 +141,9 @@ def grid_cell_set_distance(grid: Grid, cells_a: Iterable[int], cells_b: Iterable
     """Cell-set distance validated against ``grid`` (raises on invalid IDs)."""
     set_a = set(cells_a)
     set_b = set(cells_b)
-    for cell in set_a | set_b:
-        grid.coords_of_cell(cell)
+    # One vectorized range check per side replaces the O(|union|) Python
+    # decode loop; same InvalidParameterError as Grid.coords_of_cell.
+    for array in (cellsets.as_cell_array(set_a), cellsets.as_cell_array(set_b)):
+        if array.size:
+            grid.cells_to_coords_batch(array)
     return cell_set_distance(set_a, set_b)

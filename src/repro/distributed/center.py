@@ -34,8 +34,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.connectivity import is_directly_connected
 from repro.core.dataset import DatasetNode
+from repro.core.distance_engine import get_engine
 from repro.core.errors import SourceNotFoundError
 from repro.core.geometry import BoundingBox
 from repro.core.grid import Grid
@@ -320,10 +320,13 @@ class DataCenter:
         The result set only ever grows, so connectivity against it is
         monotone: a candidate proven connected once stays connected, and a
         candidate that failed against earlier members only needs testing
-        against the member added last round.  Marginal gains run on the
-        vectorized cell-set kernels instead of rebuilding
-        ``candidate.cells - covered`` frozensets each round.  Selections and
-        tie-breaks are identical to the exhaustive per-round rescan.
+        against the member added last round.  Each round's untested
+        candidates are settled with the Lemma 4 bounds where decisive and one
+        batched δ-bounded distance-engine call for the remainder, instead of
+        per-candidate exact distances.  Marginal gains run on the vectorized
+        cell-set kernels instead of rebuilding ``candidate.cells - covered``
+        frozensets each round.  Selections and tie-breaks are identical to
+        the exhaustive per-round rescan.
         """
         candidate_nodes: dict[str, DatasetNode] = {}
         source_of: dict[str, str] = {}
@@ -343,6 +346,19 @@ class DataCenter:
         last_member = query
 
         for _ in range(k):
+            untested = [
+                (dataset_id, node)
+                for dataset_id in ordered_ids
+                if (node := remaining.get(dataset_id)) is not None
+                and dataset_id not in connected_ids
+            ]
+            if untested:
+                mask = get_engine().connected_mask(
+                    last_member, [node for _, node in untested], delta
+                )
+                connected_ids.update(
+                    dataset_id for (dataset_id, _), ok in zip(untested, mask) if ok
+                )
             best_id: str | None = None
             best_gain = 0
             for dataset_id in ordered_ids:
@@ -350,9 +366,7 @@ class DataCenter:
                 if node is None:
                     continue
                 if dataset_id not in connected_ids:
-                    if not is_directly_connected(node, last_member, delta):
-                        continue
-                    connected_ids.add(dataset_id)
+                    continue
                 if use_vector:
                     gain = cellsets.difference_size(node.cells_array, covered_array)
                 else:

@@ -10,6 +10,7 @@ reasons about index size (``O(n)`` tree nodes vs. ``O(N)`` postings).
 
 from __future__ import annotations
 
+from repro.core.distance_engine import DistanceEngine, get_engine
 from repro.index.base import DatasetIndex
 from repro.index.dits import DITSLocalIndex
 from repro.index.dits_global import DITSGlobalIndex
@@ -19,7 +20,7 @@ from repro.index.josie import JosieIndex
 from repro.index.quadtree import QuadTreeIndex
 from repro.index.rtree import RTreeIndex
 
-__all__ = ["index_memory_bytes", "global_index_stats"]
+__all__ = ["index_memory_bytes", "global_index_stats", "distance_engine_stats"]
 
 #: Cost model (bytes) for logical index components.
 _TREE_NODE_BYTES = 64          # MBR (4 floats) + pivot/radius + pointers
@@ -102,3 +103,16 @@ def global_index_stats(index: DITSGlobalIndex | ShardedDITSGlobalIndex) -> dict:
         stats["shard_count"] = index.shard_count
         stats["shard_sizes"] = index.shard_sizes()
     return stats
+
+
+def distance_engine_stats(engine: DistanceEngine | None = None) -> dict:
+    """Cache and kernel counters of a distance engine, for dashboards/benchmarks.
+
+    Defaults to the process-wide engine.  ``hits``/``misses``/``evictions``/
+    ``invalidations`` describe the bounded per-dataset geometry cache that
+    replaced the seed's per-frozenset ``lru_cache``;
+    ``trees_built``/``batch_queries``/``pair_queries`` count the KD-tree work
+    the batched kernels actually performed.
+    """
+    info = (engine if engine is not None else get_engine()).cache_info()
+    return dict(info._asdict())

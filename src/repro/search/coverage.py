@@ -30,6 +30,11 @@ Two further accelerations are layered on top without changing any result:
   set is a sorted cell vector, marginal gains are ``difference_size`` merge
   kernels and the covered set is advanced with one vectorized union per
   iteration, instead of rebuilding Python set differences/unions.
+* **Batched leaf verification** — the leaf entries whose Lemma 4 bounds are
+  indecisive are accumulated during the tree traversal and resolved with one
+  δ-bounded :class:`~repro.core.distance_engine.DistanceEngine` kernel call
+  (a single KD-tree over the merged query answers the whole frontier),
+  replacing the per-entry exact distance computations.
 """
 
 from __future__ import annotations
@@ -38,7 +43,8 @@ from dataclasses import dataclass
 from typing import Container
 
 from repro.core.dataset import DatasetNode
-from repro.core.distance import exact_node_distance, node_distance_bounds
+from repro.core.distance import node_distance_bounds
+from repro.core.distance_engine import get_engine
 from repro.core.errors import InvalidParameterError
 from repro.core.problems import CoverageQuery, CoverageResult, ScoredDataset
 from repro.index.dits import DITSLocalIndex, InternalNode, LeafNode, TreeNode
@@ -79,12 +85,22 @@ def find_connected_nodes(
     node): their distance to ``query`` can only have shrunk, so they are
     accepted without re-checking.  Passing it never changes the result set,
     only the amount of distance work.
+
+    Leaf entries whose bounds are indecisive are *not* verified one by one:
+    they are collected during the traversal and resolved afterwards with a
+    single δ-bounded batch kernel (one KD-tree over ``query``, one stacked
+    candidate query), preserving the traversal order of the result list.
     """
     if delta < 0:
         raise InvalidParameterError(f"delta must be non-negative, got {delta}")
     excluded = exclude or set()
     known = known_connected if known_connected is not None else ()
-    connected: list[DatasetNode] = []
+    # ``None`` marks slots reserved for undecided entries, filled (or dropped)
+    # after the batched verification so the output order matches the
+    # entry-by-entry traversal exactly.
+    slots: list[DatasetNode | None] = []
+    pending_nodes: list[DatasetNode] = []
+    pending_slots: list[int] = []
     stack: list[TreeNode] = [root]
     while stack:
         node = stack.pop()
@@ -95,7 +111,7 @@ def find_connected_nodes(
             # Whole subtree is connected: collect every dataset it stores.
             if stats is not None:
                 stats.subtree_accepts += 1
-            _collect_datasets(node, excluded, connected)
+            _collect_datasets(node, excluded, slots)
             continue
         if lower > delta:
             if stats is not None:
@@ -107,26 +123,34 @@ def find_connected_nodes(
                 if entry.dataset_id in excluded:
                     continue
                 if entry.dataset_id in known:
-                    connected.append(entry)
+                    slots.append(entry)
                     continue
                 entry_lower, entry_upper = node_distance_bounds(entry, query)
                 if entry_lower > delta:
                     continue
                 if entry_upper <= delta:
-                    connected.append(entry)
+                    slots.append(entry)
                     continue
-                if stats is not None:
-                    stats.exact_distance_checks += 1
-                if exact_node_distance(entry, query) <= delta:
-                    connected.append(entry)
+                pending_slots.append(len(slots))
+                slots.append(None)
+                pending_nodes.append(entry)
         else:
             assert isinstance(node, InternalNode)
             stack.append(node.left)
             stack.append(node.right)
-    return connected
+    if pending_nodes:
+        if stats is not None:
+            stats.exact_distance_checks += len(pending_nodes)
+        mask = get_engine().within_delta_many(query, pending_nodes, delta)
+        for slot, entry, ok in zip(pending_slots, pending_nodes, mask):
+            if ok:
+                slots[slot] = entry
+    return [entry for entry in slots if entry is not None]
 
 
-def _collect_datasets(node: TreeNode, excluded: set[str], out: list[DatasetNode]) -> None:
+def _collect_datasets(
+    node: TreeNode, excluded: set[str], out: "list[DatasetNode | None]"
+) -> None:
     stack = [node]
     while stack:
         current = stack.pop()

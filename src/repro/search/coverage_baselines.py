@@ -25,6 +25,12 @@ rounds, which changes no result but removes the quadratic rescans:
 * Marginal gains run on the vectorized cell-set kernels
   (:func:`repro.utils.cellsets.difference_size` over sorted cell vectors)
   instead of rebuilding ``candidate.cells - covered`` frozensets each round.
+* Each SG round's exact-distance scan is one batched
+  :meth:`~repro.core.distance_engine.DistanceEngine.within_delta_many` call:
+  all untested candidates are stacked and answered by a single δ-bounded
+  KD-tree query over the newest member, instead of a per-candidate KD-tree
+  build.  The predicate stays exact (no Lemma 4 bounds are consulted — SG
+  remains the bound-free baseline).
 
 Selections, scores and tie-breaks are bit-identical to the original
 exhaustive implementations; ``tests/search/test_incremental_greedy.py``
@@ -35,7 +41,7 @@ the per-round rescans on randomized corpora.
 from __future__ import annotations
 
 from repro.core.dataset import DatasetNode
-from repro.core.distance import exact_node_distance
+from repro.core.distance_engine import get_engine
 from repro.core.errors import InvalidParameterError
 from repro.core.problems import CoverageQuery, CoverageResult, ScoredDataset
 from repro.index.dits import DITSLocalIndex
@@ -61,6 +67,8 @@ class StandardGreedy:
         """Run greedy CJSP for ``query`` with parameters ``k`` and ``delta``."""
         if k <= 0:
             raise InvalidParameterError(f"k must be positive, got {k}")
+        if delta < 0:
+            raise InvalidParameterError(f"delta must be non-negative, got {delta}")
         use_vector = cellsets.use_vector()
         covered: set[int] = set() if use_vector else set(query.cells)
         covered_array = query.cells_array if use_vector else None
@@ -73,16 +81,28 @@ class StandardGreedy:
         last_member = query
 
         for _ in range(k):
+            # One batched δ-bounded scan of the not-yet-connected candidates
+            # against the newest member replaces the per-candidate exact
+            # distance computations (same memberships, in the same round).
+            untested = [
+                candidate
+                for candidate in self._nodes
+                if candidate.dataset_id not in chosen_ids
+                and candidate.dataset_id not in connected_ids
+            ]
+            if untested:
+                mask = get_engine().within_delta_many(last_member, untested, delta)
+                connected_ids.update(
+                    candidate.dataset_id
+                    for candidate, ok in zip(untested, mask)
+                    if ok
+                )
             best_node: DatasetNode | None = None
             best_gain = 0
             for candidate in self._nodes:
                 dataset_id = candidate.dataset_id
-                if dataset_id in chosen_ids:
+                if dataset_id in chosen_ids or dataset_id not in connected_ids:
                     continue
-                if dataset_id not in connected_ids:
-                    if exact_node_distance(candidate, last_member) > delta:
-                        continue
-                    connected_ids.add(dataset_id)
                 if use_vector:
                     gain = cellsets.difference_size(candidate.cells_array, covered_array)
                 else:

@@ -93,6 +93,41 @@ class TestPointSetDistance:
         with pytest.raises(EmptyDatasetError):
             point_set_distance([], [(1, 1)])
 
+    def test_many_points_match_scalar_loop(self):
+        rng = __import__("numpy").random.default_rng(0)
+        pts_a = [(float(x), float(y)) for x, y in rng.normal(size=(60, 2))]
+        pts_b = [(float(x), float(y)) for x, y in rng.normal(size=(60, 2))]
+        expected = min(
+            math.hypot(ax - bx, ay - by) for ax, ay in pts_a for bx, by in pts_b
+        )
+        assert point_set_distance(pts_a, pts_b) == pytest.approx(expected, abs=0)
+
+    def test_blocked_broadcast_matches_single_block(self):
+        # 300 x 1000 pairs spans multiple row blocks of the bounded-memory
+        # broadcast; the minimum must match the unblocked computation.
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        pts_a = rng.uniform(-50, 50, size=(300, 2))
+        pts_b = rng.uniform(-50, 50, size=(1000, 2))
+        expected = float(
+            np.hypot(
+                pts_a[:, None, 0] - pts_b[None, :, 0],
+                pts_a[:, None, 1] - pts_b[None, :, 1],
+            ).min()
+        )
+        got = point_set_distance(map(tuple, pts_a), map(tuple, pts_b))
+        assert got == pytest.approx(expected, abs=0)
+
+    def test_huge_coordinates_do_not_overflow(self):
+        # hypot semantics: squaring 1e200 would overflow to inf.
+        assert point_set_distance([(1e200, 0.0)], [(0.0, 0.0)]) == pytest.approx(1e200)
+
+    def test_point_objects_accepted(self):
+        from repro.core.geometry import Point
+
+        assert point_set_distance([Point(0, 0)], [Point(0, 2)]) == pytest.approx(2.0)
+
 
 class TestNodeDistanceBounds:
     def make_node(self, name, cells):

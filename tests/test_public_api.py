@@ -17,6 +17,7 @@ PUBLIC_MODULES = [
     "repro.core.grid",
     "repro.core.geometry",
     "repro.core.distance",
+    "repro.core.distance_engine",
     "repro.core.connectivity",
     "repro.core.problems",
     "repro.index",
