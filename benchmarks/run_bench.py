@@ -103,6 +103,7 @@ SWEEPS = {
         delta_values=DELTA_VALUES, query_count=3, config=BENCH_CONFIG
     ),
     "fig23": lambda: experiments.fig23_global_index_churn(**_fig23_kwargs()),
+    "fig24": lambda: experiments.fig24_local_index_churn(**_fig24_kwargs()),
 }
 
 
@@ -124,7 +125,26 @@ def _fig23_kwargs() -> dict:
         "query_count": max(10, int(50 * factor)),
     }
 
-DEFAULT_FIGURES = ("fig9", "fig10", "fig11", "fig12", "fig15", "fig23")
+
+def _fig24_kwargs() -> dict:
+    """Scale the DITS-L churn sweep via ``REPRO_BENCH_CHURN_SCALE``.
+
+    Like fig23, fig24 synthesises its corpus directly; the factor shrinks
+    the corpus sizes and the mutation-stream length for CI's fast lane.
+    """
+    factor = float(os.environ.get("REPRO_BENCH_CHURN_SCALE", "1.0"))
+    if factor >= 1.0:
+        return {}
+    return {
+        "dataset_counts": tuple(
+            max(200, int(count * factor)) for count in (1000, 5000, 10000)
+        ),
+        "churn_ops": max(100, int(1000 * factor)),
+        "query_count": max(5, int(12 * factor)),
+    }
+
+
+DEFAULT_FIGURES = ("fig9", "fig10", "fig11", "fig12", "fig15", "fig23", "fig24")
 
 
 def run(figures: list[str], include_rows: bool, baseline: dict | None = None) -> dict:

@@ -22,6 +22,7 @@ from repro.core.grid import Grid
 from repro.core.problems import OverlapQuery, brute_force_overlap
 from repro.data.generators import generate_cluster_dataset, generate_route_dataset
 from repro.index.dits import DITSLocalIndex
+from repro.index.stats import local_index_stats
 from repro.search.overlap import OverlapSearch
 
 REGION = BoundingBox(-77.5, 38.5, -76.5, 39.5)
@@ -95,7 +96,20 @@ def main() -> None:
         f"\nfull rebuild over {len(remaining_nodes)} datasets: {rebuild_ms:.1f} ms "
         f"vs {insert_ms:.1f} ms for the 20 incremental inserts"
     )
-    print("the bidirectional-pointer structure only touches one root-to-leaf path per change")
+
+    # --- churn safety ---------------------------------------------------- #
+    # Each mutation touches one root-to-leaf path, and the index rebalances
+    # that path (scapegoat-style) whenever churn skews it, so sustained
+    # maintenance never degrades the tree below a fresh build.
+    maintenance = index.rebalance_stats
+    print(
+        f"maintenance counters: {maintenance.rebalance_count} partial rebuilds, "
+        f"{maintenance.leaf_merges} leaf merges; "
+        f"height {index.height()} vs fresh rebuild {rebuilt.height()}"
+    )
+    stats = local_index_stats(index)
+    assert stats["max_depth"] <= 2 * rebuilt.height()
+    print(f"local_index_stats(): {stats}")
 
 
 if __name__ == "__main__":

@@ -41,7 +41,13 @@ from repro.core import (
     SpatialDataset,
 )
 from repro.distributed import DataCenter, DataSource, MultiSourceFramework
-from repro.index import DITSGlobalIndex, DITSLocalIndex, ShardedDITSGlobalIndex, ShardPolicy
+from repro.index import (
+    DITSGlobalIndex,
+    DITSLocalIndex,
+    RebalancePolicy,
+    ShardedDITSGlobalIndex,
+    ShardPolicy,
+)
 from repro.search import CoverageSearch, OverlapSearch
 
 __version__ = "1.0.0"
@@ -63,6 +69,7 @@ __all__ = [
     "OverlapResult",
     "OverlapSearch",
     "Point",
+    "RebalancePolicy",
     "ShardPolicy",
     "ShardedDITSGlobalIndex",
     "SpatialDataset",

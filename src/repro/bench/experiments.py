@@ -53,6 +53,7 @@ __all__ = [
     "fig19_20_coverage_communication",
     "fig21_22_index_updates",
     "fig23_global_index_churn",
+    "fig24_local_index_churn",
     "OVERLAP_METHODS",
     "COVERAGE_METHODS",
 ]
@@ -628,6 +629,195 @@ def fig21_22_index_updates(
                     "index": index_name,
                     "insert_ms": insert_ms,
                     "update_ms": update_ms,
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 24 (repo extension) — DITS-L churn: rebalancing vs a skewing tree
+# ---------------------------------------------------------------------- #
+def _churn_grid() -> Grid:
+    return Grid(theta=10, space=BoundingBox(0.0, 0.0, 1024.0, 1024.0))
+
+
+def _churn_dataset_node(grid: Grid, dataset_id: str, ox: int, oy: int, rng) -> "DatasetNode":
+    from repro.core.dataset import DatasetNode
+
+    extent = int(grid.space.width)
+    ox = min(max(ox, 0), extent - 13)
+    oy = min(max(oy, 0), extent - 13)
+    cells = {
+        grid.cell_id_from_coords(ox + int(rng.integers(0, 12)), oy + int(rng.integers(0, 12)))
+        for _ in range(int(rng.integers(4, 16)))
+    }
+    return DatasetNode.from_cells(dataset_id, cells, grid)
+
+
+def _churn_corpus(grid: Grid, count: int, rng) -> list:
+    extent = int(grid.space.width)
+    return [
+        _churn_dataset_node(
+            grid,
+            f"ds-{i:06d}",
+            int(rng.integers(0, extent)),
+            int(rng.integers(0, extent)),
+            rng,
+        )
+        for i in range(count)
+    ]
+
+
+def _churn_queries(grid: Grid, count: int, rng) -> list:
+    extent = int(grid.space.width)
+    return [
+        _churn_dataset_node(
+            grid,
+            f"__churn_query__{i}",
+            int(rng.integers(0, extent)),
+            int(rng.integers(0, extent)),
+            rng,
+        )
+        for i in range(count)
+    ]
+
+
+def _local_search_checksum(index: DITSLocalIndex, queries, k: int, delta: float) -> int:
+    """Order-sensitive CRC over OJSP + CJSP results for every query."""
+    overlap = OverlapSearch(index)
+    coverage = CoverageSearch(index)
+    crc = 0
+    for query in queries:
+        result = overlap.search_node(query, k)
+        payload = ";".join(f"{e.dataset_id}:{e.score:.6f}" for e in result.entries)
+        crc = zlib.crc32(payload.encode(), crc)
+        selection = coverage.search_node(query, k, delta)
+        payload = ";".join(f"{e.dataset_id}:{e.score:.6f}" for e in selection.entries)
+        crc = zlib.crc32(payload.encode(), crc)
+    return crc
+
+
+def fig24_local_index_churn(
+    dataset_counts: Sequence[int] = (1000, 5000, 10000),
+    churn_ops: int = 1000,
+    query_count: int = 12,
+    k: int = 5,
+    delta: float = 6.0,
+    leaf_capacity: int = 30,
+    query_every: int = 50,
+    seed: int = 7,
+) -> list[dict]:
+    """DITS-L query latency and tree height under sustained local churn.
+
+    For every corpus size the driver replays the same drifting mutation
+    stream — interleaved inserts (whose cluster center slides across the
+    data space, the classic skew generator), deletes and far-moving updates,
+    with a query every ``query_every`` operations — against three
+    maintenance policies:
+
+    * ``static`` — the legacy never-rebalance behaviour
+      (``RebalancePolicy(enabled=False)``);
+    * ``rebalance`` — the default alpha-balance policy with eager refits;
+    * ``deferred`` — rebalancing plus burst-batched MBR re-tightening
+      (``deferred_refit=True``).
+
+    After the stream, each variant's query workload is timed (best of 5) and
+    compared against ``rebuilt`` — a freshly bulk-built tree over the same
+    final dataset set, the paper's implicit gold standard.  ``checksum`` is
+    a CRC over the ordered OJSP/CJSP results of every probe query; because
+    the searches are exact and canonically tie-broken, every variant must
+    match the rebuilt tree bit-for-bit (asserted by the fig24 benchmark
+    test).
+    """
+    from repro.index.dits_rebalance import RebalancePolicy
+
+    variants = (
+        ("static", lambda: RebalancePolicy(enabled=False)),
+        ("rebalance", lambda: RebalancePolicy()),
+        ("deferred", lambda: RebalancePolicy(deferred_refit=True)),
+    )
+    grid = _churn_grid()
+    extent = int(grid.space.width)
+
+    rows = []
+    for count in dataset_counts:
+        for label, policy_factory in variants:
+            rng = np.random.default_rng(seed)
+            corpus = _churn_corpus(grid, count, rng)
+            queries = _churn_queries(grid, query_count, rng)
+            op_rng = np.random.default_rng(seed + 1)
+
+            index = DITSLocalIndex(leaf_capacity=leaf_capacity, rebalance=policy_factory())
+            build_ms, _ = time_call(lambda: index.build(corpus))
+            overlap = OverlapSearch(index)
+
+            live_ids = [node.dataset_id for node in corpus]
+
+            def churn() -> None:
+                for op in range(churn_ops):
+                    kind = op % 3
+                    # Insert clusters drift corner-to-corner across the
+                    # space so a non-rebalancing tree keeps splitting the
+                    # same frontier region into an ever-deeper spine.
+                    drift = int((op / max(churn_ops - 1, 1)) * (extent - 48))
+                    if kind == 0 or not live_ids:
+                        jitter = int(op_rng.integers(0, 48))
+                        node = _churn_dataset_node(
+                            grid, f"new-{op:06d}", drift + jitter, drift + jitter, op_rng
+                        )
+                        index.insert(node)
+                        live_ids.append(node.dataset_id)
+                    elif kind == 1:
+                        victim = live_ids.pop(int(op_rng.integers(0, len(live_ids))))
+                        index.delete(victim)
+                    else:
+                        moved_id = live_ids[int(op_rng.integers(0, len(live_ids)))]
+                        node = _churn_dataset_node(
+                            grid,
+                            moved_id,
+                            int(op_rng.integers(0, extent)),
+                            int(op_rng.integers(0, extent)),
+                            op_rng,
+                        )
+                        index.update(node)
+                    if op % query_every == 0:
+                        overlap.search_node(queries[op // query_every % len(queries)], k)
+
+            churn_ms, _ = time_call(churn)
+
+            def query_workload(idx: DITSLocalIndex) -> None:
+                search = OverlapSearch(idx)
+                cover = CoverageSearch(idx)
+                for query in queries:
+                    search.search_node(query, k)
+                    cover.search_node(query, k, delta)
+
+            # Best-of-5: the per-query latencies are small enough that one
+            # scheduler hiccup would otherwise dominate the comparison.
+            query_ms, _ = time_call(lambda: query_workload(index), repeats=5)
+
+            rebuilt = DITSLocalIndex(leaf_capacity=leaf_capacity)
+            rebuilt.build(list(index.nodes()))
+            rebuilt_query_ms, _ = time_call(lambda: query_workload(rebuilt), repeats=5)
+
+            maintenance = index.rebalance_stats.as_dict()
+            rows.append(
+                {
+                    "datasets": count,
+                    "variant": label,
+                    "build_ms": build_ms,
+                    "churn_ms": churn_ms,
+                    "query_ms": query_ms,
+                    "rebuilt_query_ms": rebuilt_query_ms,
+                    "height": index.height(),
+                    "rebuilt_height": rebuilt.height(),
+                    "rebalances": maintenance["rebalance_count"],
+                    "rebuilt_entries": maintenance["rebuilt_entries"],
+                    "leaf_merges": maintenance["leaf_merges"],
+                    "deferred_refits": maintenance["deferred_refits"],
+                    "refit_flushes": maintenance["refit_flushes"],
+                    "checksum": _local_search_checksum(index, queries, k, delta),
+                    "rebuilt_checksum": _local_search_checksum(rebuilt, queries, k, delta),
                 }
             )
     return rows

@@ -48,7 +48,7 @@ from repro.data.sources import SOURCE_PROFILES, build_source_datasets
 from repro.distributed.framework import MultiSourceFramework
 from repro.index.dits import DITSLocalIndex
 from repro.index.dits_global_sharded import ShardPolicy
-from repro.index.stats import global_index_stats
+from repro.index.stats import global_index_stats, local_index_stats
 from repro.search.coverage import CoverageSearch
 from repro.search.overlap import OverlapSearch
 
@@ -196,6 +196,22 @@ def _command_stats(args: argparse.Namespace) -> int:
         }
     ]
     print(format_table(rows, title=f"corpus statistics ({args.corpus})"))
+    index_stats = local_index_stats(index)
+    print(
+        format_table(
+            [
+                {
+                    "tree_nodes": index_stats["tree_nodes"],
+                    "max_depth": index_stats["max_depth"],
+                    "rebalances": index_stats["rebalance_count"],
+                    "leaf_merges": index_stats["leaf_merges"],
+                    "deferred_refits": index_stats["deferred_refits"],
+                    "mbr_slack": f"{index_stats['mbr_slack']:.1f}",
+                }
+            ],
+            title="DITS-L local index",
+        )
+    )
     return 0
 
 

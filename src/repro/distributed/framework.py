@@ -19,6 +19,7 @@ from repro.distributed.center import DataCenter, DistributionPolicy
 from repro.distributed.channel import ChannelStats, SimulatedChannel
 from repro.distributed.executor import ExecutionPolicy
 from repro.distributed.source import DataSource
+from repro.index.dits_rebalance import RebalancePolicy
 from repro.index.dits_global_sharded import ShardPolicy
 
 __all__ = ["MultiSourceFramework"]
@@ -51,6 +52,11 @@ class MultiSourceFramework:
         (:class:`~repro.index.dits_global_sharded.ShardPolicy`).  ``None``
         keeps the default policy; every shard count returns bit-identical
         candidates and results.
+    rebalance:
+        DITS-L rebalancing policy applied by sources created via
+        :meth:`add_source` / :meth:`add_source_from_nodes` (``None`` keeps
+        the default-enabled policy).  Any policy returns bit-identical
+        search results; only maintenance cost and pruning power differ.
     """
 
     def __init__(
@@ -62,9 +68,11 @@ class MultiSourceFramework:
         bandwidth_bytes_per_second: float = 1_048_576,
         execution: ExecutionPolicy | None = None,
         shard_policy: ShardPolicy | None = None,
+        rebalance: RebalancePolicy | None = None,
     ) -> None:
         self.grid = Grid(theta=theta, space=space) if space is not None else Grid(theta=theta)
         self.leaf_capacity = leaf_capacity
+        self.rebalance = rebalance
         self.channel = SimulatedChannel(bandwidth_bytes_per_second=bandwidth_bytes_per_second)
         self.center = DataCenter(
             grid=self.grid,
@@ -96,6 +104,7 @@ class MultiSourceFramework:
             source_id=source_id,
             grid=grid,
             leaf_capacity=leaf_capacity if leaf_capacity is not None else self.leaf_capacity,
+            rebalance=self.rebalance,
         )
         source.load_datasets(datasets)
         self.center.register_source(source)
@@ -104,7 +113,10 @@ class MultiSourceFramework:
     def add_source_from_nodes(self, source_id: str, nodes: Iterable[DatasetNode]) -> DataSource:
         """Create and register a source from pre-gridded dataset nodes (center grid)."""
         source = DataSource(
-            source_id=source_id, grid=self.grid, leaf_capacity=self.leaf_capacity
+            source_id=source_id,
+            grid=self.grid,
+            leaf_capacity=self.leaf_capacity,
+            rebalance=self.rebalance,
         )
         source.load_nodes(nodes)
         self.center.register_source(source)
@@ -117,6 +129,11 @@ class MultiSourceFramework:
     def add_dataset(self, source_id: str, dataset: SpatialDataset) -> None:
         """Incrementally index a new dataset at ``source_id`` and refresh routing."""
         self.center.source(source_id).add_dataset(dataset)
+        self.center.refresh_source(source_id)
+
+    def update_dataset(self, source_id: str, dataset: SpatialDataset) -> None:
+        """Re-index a changed dataset at ``source_id`` and refresh routing."""
+        self.center.source(source_id).update_dataset(dataset)
         self.center.refresh_source(source_id)
 
     def remove_dataset(self, source_id: str, dataset_id: str) -> None:

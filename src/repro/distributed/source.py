@@ -23,6 +23,8 @@ from repro.distributed.messages import (
     RootUpload,
 )
 from repro.index.dits import DITSLocalIndex
+from repro.index.dits_rebalance import RebalancePolicy
+from repro.index.stats import local_index_stats
 from repro.search.coverage import CoverageSearch
 from repro.search.overlap import OverlapSearch
 
@@ -47,10 +49,11 @@ class DataSource:
         source_id: str,
         grid: Grid,
         leaf_capacity: int = 30,
+        rebalance: RebalancePolicy | None = None,
     ) -> None:
         self.source_id = source_id
         self.grid = grid
-        self._index = DITSLocalIndex(leaf_capacity=leaf_capacity)
+        self._index = DITSLocalIndex(leaf_capacity=leaf_capacity, rebalance=rebalance)
         self._overlap_search = OverlapSearch(self._index)
         self._coverage_search = CoverageSearch(self._index)
 
@@ -70,6 +73,15 @@ class DataSource:
         """Incrementally index a new dataset."""
         self._index.insert(dataset.to_node(self.grid))
 
+    def update_dataset(self, dataset: SpatialDataset) -> None:
+        """Re-grid and re-index a dataset whose points changed.
+
+        The local index relocates the dataset to a better leaf when it moved
+        (and rebalances the tree if the churn skewed it), so a source can
+        refresh datasets indefinitely without degrading its search bounds.
+        """
+        self._index.update(dataset.to_node(self.grid))
+
     def remove_dataset(self, dataset_id: str) -> None:
         """Remove a dataset from the local index."""
         self._index.delete(dataset_id)
@@ -82,6 +94,10 @@ class DataSource:
     def dataset_count(self) -> int:
         """Number of datasets indexed by this source."""
         return len(self._index)
+
+    def index_stats(self) -> dict:
+        """Shape and churn-maintenance statistics of the local index."""
+        return local_index_stats(self._index)
 
     # ------------------------------------------------------------------ #
     # Root upload (DITS-G registration)

@@ -3,6 +3,9 @@
 * :mod:`repro.index.dits` — DITS-L, the paper's local index (Algorithm 1): a
   top-down binary ball-tree over dataset nodes whose leaves carry an inverted
   index from cell ID to dataset IDs.
+* :mod:`repro.index.dits_rebalance` — churn-safe incremental rebalancing for
+  DITS-L: scapegoat-style amortized partial rebuilds, leaf underflow merging
+  and deferred MBR refits.
 * :mod:`repro.index.dits_global` — DITS-G, the global index at the data
   center, built over the root summaries reported by each source.
 * :mod:`repro.index.dits_global_sharded` — DITS-G partitioned into z-order
@@ -20,11 +23,12 @@ from repro.index.base import DatasetIndex
 from repro.index.dits import DITSLocalIndex, InternalNode, LeafNode, TreeNode
 from repro.index.dits_global import DITSGlobalIndex, SourceSummary
 from repro.index.dits_global_sharded import ShardedDITSGlobalIndex, ShardPolicy
+from repro.index.dits_rebalance import RebalancePolicy, RebalanceStats
 from repro.index.inverted import STS3Index
 from repro.index.josie import JosieIndex
 from repro.index.quadtree import QuadTreeIndex
 from repro.index.rtree import RTreeIndex
-from repro.index.stats import global_index_stats, index_memory_bytes
+from repro.index.stats import global_index_stats, index_memory_bytes, local_index_stats
 
 __all__ = [
     "DATASET_INDEX_CLASSES",
@@ -36,6 +40,8 @@ __all__ = [
     "LeafNode",
     "QuadTreeIndex",
     "RTreeIndex",
+    "RebalancePolicy",
+    "RebalanceStats",
     "STS3Index",
     "ShardPolicy",
     "ShardedDITSGlobalIndex",
@@ -43,6 +49,7 @@ __all__ = [
     "TreeNode",
     "global_index_stats",
     "index_memory_bytes",
+    "local_index_stats",
 ]
 
 #: Name -> class mapping used by benchmarks that sweep over all five indexes.

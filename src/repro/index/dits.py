@@ -12,8 +12,16 @@ median pivot (Algorithm 1).  The structure combines two classic indexes:
   Lemma 2/3 intersection bounds and fast verification used by OverlapSearch.
 
 The tree keeps parent pointers (a bidirectional structure) so the incremental
-insert/update/delete operations of Appendix IX-C only touch one root-to-leaf
-path.
+insert/update/delete operations of Appendix IX-C touch one root-to-leaf path,
+and it maintains a *weight-balance invariant* on top of them: every node
+carries its subtree dataset count, the mutation path is rechecked after each
+operation, and the highest ancestor whose heavier child exceeds ``alpha``
+times its size is rebuilt with the bulk median split (a scapegoat-style
+amortized partial rebuild — see :mod:`repro.index.dits_rebalance`).  Deletes
+additionally merge underflowing leaves into their sibling, and a deferred
+mode batches MBR re-tightening across mutation bursts until the next query.
+Sustained churn therefore cannot skew the tree or inflate leaf MBRs, which
+keeps the Lemma 2/3/4 pruning bounds as strong as on a freshly built tree.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from repro.core.errors import (
 )
 from repro.core.geometry import BoundingBox, Point
 from repro.index.base import DatasetIndex
+from repro.index.dits_rebalance import RebalancePolicy, RebalanceStats, Rebalancer
 
 __all__ = ["DITSLocalIndex", "TreeNode", "InternalNode", "LeafNode"]
 
@@ -36,15 +45,22 @@ DEFAULT_LEAF_CAPACITY = 30
 
 
 class TreeNode:
-    """Base class for DITS-L tree nodes: carries MBR, pivot, radius and parent."""
+    """Base class for DITS-L tree nodes: carries MBR, pivot, radius and parent.
 
-    __slots__ = ("rect", "pivot", "radius", "parent")
+    ``size`` is the number of datasets in the subtree (the weight the
+    rebalancer's alpha-balance test runs on); ``refit_dirty`` marks nodes
+    whose MBR re-tightening is deferred until the next query flush.
+    """
+
+    __slots__ = ("rect", "pivot", "radius", "parent", "size", "refit_dirty")
 
     def __init__(self, rect: BoundingBox, parent: "InternalNode | None" = None) -> None:
         self.rect = rect
         self.pivot = rect.center
         self.radius = rect.radius
         self.parent = parent
+        self.size = 0
+        self.refit_dirty = False
 
     def is_leaf(self) -> bool:
         """Whether this node is a leaf (overridden by subclasses)."""
@@ -73,6 +89,7 @@ class InternalNode(TreeNode):
         self.right = right
         left.parent = self
         right.parent = self
+        self.size = left.size + right.size
 
     def is_leaf(self) -> bool:
         return False
@@ -118,6 +135,7 @@ class LeafNode(TreeNode):
         super().__init__(rect, parent)
         self.entries = list(entries)
         self.capacity = capacity
+        self.size = len(self.entries)
         self.inverted: dict[int, dict[str, int]] = {}
         self._full_cells: set[int] | None = None
         self.rebuild_inverted()
@@ -159,6 +177,7 @@ class LeafNode(TreeNode):
     def add_entry(self, node: DatasetNode) -> None:
         """Append a dataset node and extend the posting lists."""
         self.entries.append(node)
+        self.size = len(self.entries)
         dataset_id = node.dataset_id
         inverted = self.inverted
         for cell in node.cells:
@@ -178,6 +197,7 @@ class LeafNode(TreeNode):
         for position, entry in enumerate(self.entries):
             if entry.dataset_id == dataset_id:
                 removed = self.entries.pop(position)
+                self.size = len(self.entries)
                 inverted = self.inverted
                 for cell in removed.cells:
                     postings = inverted.get(cell)
@@ -203,25 +223,49 @@ class DITSLocalIndex(DatasetIndex):
     leaf_capacity:
         Maximum number of dataset nodes per leaf (parameter ``f`` in the
         paper, default 30 to match the paper's mid-range setting).
+    rebalance:
+        Incremental rebalancing policy applied along every mutation path;
+        ``None`` uses the default-enabled :class:`RebalancePolicy` (pass
+        ``RebalancePolicy(enabled=False)`` for the legacy never-rebalance
+        behaviour, e.g. to measure churn skew).
     """
 
     name = "DITS-L"
 
-    def __init__(self, leaf_capacity: int = DEFAULT_LEAF_CAPACITY) -> None:
+    def __init__(
+        self,
+        leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+        rebalance: RebalancePolicy | None = None,
+    ) -> None:
         super().__init__()
         if leaf_capacity <= 0:
             raise InvalidParameterError(f"leaf capacity must be positive, got {leaf_capacity}")
         self.leaf_capacity = leaf_capacity
+        self.rebalance_policy = rebalance if rebalance is not None else RebalancePolicy()
+        self._rebalancer = Rebalancer(self, self.rebalance_policy)
+        self._defer_refits = self.rebalance_policy.deferred_refit
+        self._refit_pending = False
         self._root: TreeNode | None = None
         self._leaf_of: dict[str, LeafNode] = {}
         self._leaf_ordinals: dict[int, int] | None = None
+
+    @property
+    def rebalance_stats(self) -> RebalanceStats:
+        """Cumulative maintenance counters (rebuilds, merges, deferred refits)."""
+        return self._rebalancer.stats
 
     # ------------------------------------------------------------------ #
     # Construction (Algorithm 1, top-down median split)
     # ------------------------------------------------------------------ #
     @property
     def root(self) -> TreeNode:
-        """The root tree node; raises if the index is empty/unbuilt."""
+        """The root tree node; raises if the index is empty/unbuilt.
+
+        Flushes any deferred MBR re-tightening first, so every consumer of
+        the tree (the search algorithms, ``root_summary``) always observes
+        exact MBRs.
+        """
+        self._service_pending()
         if self._root is None:
             raise IndexNotBuiltError("DITS-L index has not been built or is empty")
         return self._root
@@ -233,6 +277,7 @@ class DITSLocalIndex(DatasetIndex):
     def _rebuild(self) -> None:
         self._leaf_of = {}
         self._leaf_ordinals = None
+        self._refit_pending = False
         entries = list(self._nodes.values())
         self._root = self._build_subtree(entries, parent=None) if entries else None
 
@@ -257,7 +302,7 @@ class DITSLocalIndex(DatasetIndex):
         return node
 
     # ------------------------------------------------------------------ #
-    # Maintenance (Appendix IX-C)
+    # Maintenance (Appendix IX-C + scapegoat-style rebalancing)
     # ------------------------------------------------------------------ #
     def _insert_structure(self, node: DatasetNode) -> None:
         self._leaf_ordinals = None
@@ -270,10 +315,14 @@ class DITSLocalIndex(DatasetIndex):
         leaf.add_entry(node)
         leaf._set_rect(leaf.rect.union(node.rect))
         self._leaf_of[node.dataset_id] = leaf
+        changed: TreeNode = leaf
         if len(leaf) > self.leaf_capacity:
-            self._split_leaf(leaf)
-        else:
-            self._refit_upwards(leaf)
+            changed = self._split_leaf(leaf)
+        # Inserts only enlarge MBRs, so growing each ancestor by the new
+        # rect *is* the exact refit — there is nothing to re-tighten and
+        # nothing to defer.
+        self._grow_upwards(changed, node.rect)
+        self._rebalancer.after_mutation(changed)
 
     def _delete_structure(self, node: DatasetNode) -> None:
         self._leaf_ordinals = None
@@ -281,28 +330,45 @@ class DITSLocalIndex(DatasetIndex):
         if leaf is None:
             raise DatasetNotFoundError(node.dataset_id)
         leaf.remove_entry(node.dataset_id)
-        if leaf.entries:
-            leaf._set_rect(BoundingBox.union_of(entry.rect for entry in leaf.entries))
-            self._refit_upwards(leaf)
+        if not leaf.entries:
+            survivor = self._remove_empty_leaf(leaf)
+            if survivor is None:
+                return
+            changed = survivor
         else:
-            self._remove_empty_leaf(leaf)
+            changed = self._rebalancer.absorb_underflow(leaf)
+        self._tighten_or_defer(changed)
+        self._rebalancer.after_mutation(changed)
 
     def _update_structure(self, old: DatasetNode, new: DatasetNode) -> None:
         self._leaf_ordinals = None
         leaf = self._leaf_of.get(old.dataset_id)
         if leaf is None:
             raise DatasetNotFoundError(old.dataset_id)
+        if self._choose_leaf(new) is not leaf:
+            # The dataset moved: keeping it in place would union the new
+            # rect into a leaf it no longer belongs to, permanently bloating
+            # that leaf's MBR and weakening the distance bounds.  Relocate.
+            self._delete_structure(old)
+            self._insert_structure(new)
+            return
         leaf.remove_entry(old.dataset_id)
         leaf.add_entry(new)
-        leaf._set_rect(BoundingBox.union_of(entry.rect for entry in leaf.entries))
-        if len(leaf) > self.leaf_capacity:
-            self._split_leaf(leaf)
+        if self._defer_refits:
+            # Keep the MBRs conservative now (the new rect may extend past
+            # the leaf), defer the re-tightening to the next query flush.
+            leaf._set_rect(leaf.rect.union(new.rect))
+            self._grow_upwards(leaf, new.rect)
+            self._mark_dirty_upwards(leaf)
+            self._rebalancer.stats.deferred_refits += 1
         else:
+            leaf._set_rect(BoundingBox.union_of(entry.rect for entry in leaf.entries))
             self._refit_upwards(leaf)
 
     def _choose_leaf(self, node: DatasetNode) -> LeafNode:
         """Descend from the root choosing the child whose pivot is closest."""
-        current = self.root
+        current = self._root
+        assert current is not None
         while not current.is_leaf():
             assert isinstance(current, InternalNode)
             left_distance = current.left.pivot.distance_to(node.pivot)
@@ -311,7 +377,7 @@ class DITSLocalIndex(DatasetIndex):
         assert isinstance(current, LeafNode)
         return current
 
-    def _split_leaf(self, leaf: LeafNode) -> None:
+    def _split_leaf(self, leaf: LeafNode) -> InternalNode:
         """Split an over-full leaf into two along its widest dimension."""
         rect = BoundingBox.union_of(entry.rect for entry in leaf.entries)
         split_dim = 0 if rect.width >= rect.height else 1
@@ -336,14 +402,20 @@ class DITSLocalIndex(DatasetIndex):
             self._root = replacement
         else:
             parent.replace_child(leaf, replacement)
-            self._refit_upwards(replacement)
+        return replacement
 
-    def _remove_empty_leaf(self, leaf: LeafNode) -> None:
-        """Remove a leaf that lost its last entry, collapsing its parent."""
+    def _remove_empty_leaf(self, leaf: LeafNode) -> TreeNode | None:
+        """Remove a leaf that lost its last entry, collapsing its parent.
+
+        Returns the sibling promoted into the parent's place (the node to
+        continue refit/size maintenance from), or ``None`` when the removed
+        leaf was the root and the tree is now empty.
+        """
         parent = leaf.parent
         if parent is None:
             self._root = None
-            return
+            self._refit_pending = False
+            return None
         sibling = parent.right if parent.left is leaf else parent.left
         grandparent = parent.parent
         if grandparent is None:
@@ -351,8 +423,11 @@ class DITSLocalIndex(DatasetIndex):
             sibling.parent = None
         else:
             grandparent.replace_child(parent, sibling)
-            self._refit_upwards(sibling)
+        return sibling
 
+    # ------------------------------------------------------------------ #
+    # MBR maintenance: eager refits, conservative grows, deferred flushes
+    # ------------------------------------------------------------------ #
     def _refit_upwards(self, node: TreeNode) -> None:
         """Re-tighten MBRs from ``node``'s parent up to the root."""
         current = node.parent
@@ -360,11 +435,96 @@ class DITSLocalIndex(DatasetIndex):
             current._set_rect(current.left.rect.union(current.right.rect))
             current = current.parent
 
+    def _grow_upwards(self, node: TreeNode, rect: BoundingBox) -> None:
+        """Grow ancestor MBRs to cover ``rect`` (stop once it is contained).
+
+        Ancestors are nested, so the first one already containing ``rect``
+        ends the walk.  For inserts this *is* the exact refit; for deferred
+        updates it is the cheap conservative step preceding the flush.
+        """
+        current = node.parent
+        while current is not None and not current.rect.contains_box(rect):
+            current._set_rect(current.rect.union(rect))
+            current = current.parent
+
+    def _tighten_or_defer(self, node: TreeNode) -> None:
+        """Re-tighten MBRs from ``node`` up, or mark the path for a later flush."""
+        if self._defer_refits:
+            self._mark_dirty_upwards(node)
+            self._rebalancer.stats.deferred_refits += 1
+            return
+        if node.is_leaf():
+            assert isinstance(node, LeafNode)
+            node._set_rect(BoundingBox.union_of(entry.rect for entry in node.entries))
+        self._refit_upwards(node)
+
+    def _mark_dirty_upwards(self, node: TreeNode) -> None:
+        """Flag ``node`` and its ancestors for re-tightening at the next flush.
+
+        The walk stops at the first already-dirty ancestor (its own path to
+        the root is dirty by construction), so a burst of mutations in one
+        region marks each path segment once.
+        """
+        current: TreeNode | None = node
+        while current is not None and not current.refit_dirty:
+            current.refit_dirty = True
+            current = current.parent
+        self._refit_pending = True
+
+    def _service_pending(self) -> None:
+        """Flush deferred MBR re-tightening before the tree is observed."""
+        if self._refit_pending:
+            self._flush_refits()
+
+    def _flush_refits(self) -> None:
+        """Re-tighten every dirty node bottom-up (one pass over the dirty region)."""
+        self._refit_pending = False
+        root = self._root
+        if root is None or not root.refit_dirty:
+            return
+        stack: list[tuple[TreeNode, bool]] = [(root, False)]
+        while stack:
+            node, children_done = stack.pop()
+            if not node.refit_dirty:
+                continue
+            if node.is_leaf():
+                assert isinstance(node, LeafNode)
+                node._set_rect(
+                    BoundingBox.union_of(entry.rect for entry in node.entries)
+                )
+                node.refit_dirty = False
+            elif children_done:
+                assert isinstance(node, InternalNode)
+                node._set_rect(node.left.rect.union(node.right.rect))
+                node.refit_dirty = False
+            else:
+                assert isinstance(node, InternalNode)
+                stack.append((node, True))
+                stack.append((node.right, False))
+                stack.append((node.left, False))
+        self._rebalancer.stats.refit_flushes += 1
+
+    def _collect_entries(self, node: TreeNode) -> list[DatasetNode]:
+        """All dataset nodes stored under ``node``, in left-to-right leaf order."""
+        entries: list[DatasetNode] = []
+        stack: list[TreeNode] = [node]
+        while stack:
+            current = stack.pop()
+            if current.is_leaf():
+                assert isinstance(current, LeafNode)
+                entries.extend(current.entries)
+            else:
+                assert isinstance(current, InternalNode)
+                stack.append(current.right)
+                stack.append(current.left)
+        return entries
+
     # ------------------------------------------------------------------ #
     # Traversal helpers used by the search algorithms
     # ------------------------------------------------------------------ #
     def leaves(self) -> Iterator[LeafNode]:
         """Iterate over all leaves (left-to-right order)."""
+        self._service_pending()
         if self._root is None:
             return
         stack: list[TreeNode] = [self._root]
@@ -406,17 +566,31 @@ class DITSLocalIndex(DatasetIndex):
             raise DatasetNotFoundError(dataset_id) from exc
 
     def height(self) -> int:
-        """Height of the tree (a single leaf has height 1)."""
-        def depth(node: TreeNode) -> int:
-            if node.is_leaf():
-                return 1
-            assert isinstance(node, InternalNode)
-            return 1 + max(depth(node.left), depth(node.right))
+        """Height of the tree (a single leaf has height 1).
 
-        return depth(self._root) if self._root is not None else 0
+        Iterative: a churn-skewed (or simply very large) tree must not blow
+        the interpreter recursion limit, which the previous per-level
+        recursion did once the depth approached ~1000.
+        """
+        self._service_pending()
+        if self._root is None:
+            return 0
+        deepest = 0
+        stack: list[tuple[TreeNode, int]] = [(self._root, 1)]
+        while stack:
+            node, depth = stack.pop()
+            if node.is_leaf():
+                if depth > deepest:
+                    deepest = depth
+                continue
+            assert isinstance(node, InternalNode)
+            stack.append((node.right, depth + 1))
+            stack.append((node.left, depth + 1))
+        return deepest
 
     def node_count(self) -> int:
         """Total number of tree nodes (internal + leaves)."""
+        self._service_pending()
         count = 0
         if self._root is None:
             return 0
@@ -431,6 +605,7 @@ class DITSLocalIndex(DatasetIndex):
 
     def visit(self, callback: Callable[[TreeNode], bool]) -> None:
         """Depth-first traversal; ``callback`` returns ``False`` to prune a subtree."""
+        self._service_pending()
         if self._root is None:
             return
         stack: list[TreeNode] = [self._root]

@@ -11,6 +11,7 @@ reasons about index size (``O(n)`` tree nodes vs. ``O(N)`` postings).
 from __future__ import annotations
 
 from repro.core.distance_engine import DistanceEngine, get_engine
+from repro.core.geometry import BoundingBox
 from repro.index.base import DatasetIndex
 from repro.index.dits import DITSLocalIndex
 from repro.index.dits_global import DITSGlobalIndex
@@ -20,7 +21,12 @@ from repro.index.josie import JosieIndex
 from repro.index.quadtree import QuadTreeIndex
 from repro.index.rtree import RTreeIndex
 
-__all__ = ["index_memory_bytes", "global_index_stats", "distance_engine_stats"]
+__all__ = [
+    "index_memory_bytes",
+    "local_index_stats",
+    "global_index_stats",
+    "distance_engine_stats",
+]
 
 #: Cost model (bytes) for logical index components.
 _TREE_NODE_BYTES = 64          # MBR (4 floats) + pivot/radius + pointers
@@ -82,6 +88,42 @@ def _josie_cells(index: JosieIndex):
 
 def _sts3_bytes(index: STS3Index) -> int:
     return index.distinct_cells() * _CELL_KEY_BYTES + index.posting_count() * _POSTING_BYTES
+
+
+def local_index_stats(index: DITSLocalIndex) -> dict:
+    """Shape, churn and maintenance counters of a DITS-L local index.
+
+    ``mbr_slack`` is the total leaf-MBR looseness — the summed difference
+    between each leaf's stored rect area and the exact union of its entry
+    rects — measured *before* any deferred refit is flushed, so it reports
+    the staleness a mutation burst has accumulated; after a flush (any
+    query) it is zero by construction.  ``refit_pending`` says whether such
+    a flush is outstanding.  ``max_depth`` and ``tree_nodes`` are measured
+    after flushing, like any query would see them.
+    """
+    slack = 0.0
+    refit_pending = index._refit_pending  # noqa: SLF001 - stats is a friend module
+    root = index._root  # noqa: SLF001 - pre-flush traversal, deliberate
+    stack = [root] if root is not None else []
+    while stack:
+        node = stack.pop()
+        if node.is_leaf():
+            tight = BoundingBox.union_of(entry.rect for entry in node.entries)
+            slack += node.rect.area - tight.area
+        else:
+            stack.append(node.right)
+            stack.append(node.left)
+    stats: dict = {
+        "datasets": len(index),
+        "leaf_capacity": index.leaf_capacity,
+        "max_depth": index.height(),
+        "tree_nodes": index.node_count(),
+        "mbr_slack": slack,
+        "refit_pending": refit_pending,
+        "memory_bytes": _dits_bytes(index),
+    }
+    stats.update(index.rebalance_stats.as_dict())
+    return stats
 
 
 def global_index_stats(index: DITSGlobalIndex | ShardedDITSGlobalIndex) -> dict:

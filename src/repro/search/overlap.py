@@ -13,13 +13,20 @@ The algorithm has a filter phase and a verification phase:
    bound, so verification stops at the first leaf that provably cannot beat
    the current k-th best overlap (the incremental verification threshold).
    Within a leaf, exact per-dataset overlaps are accumulated from the
-   counted posting lists of the shared query cells and pushed into the
-   bounded top-``k`` result queue in the same scan order as the seed
-   implementation, so results (including tie-breaks) are unchanged and
-   identical across cell-set backends.
+   counted posting lists of the shared query cells and pushed into a
+   *canonical* bounded top-``k`` result queue that breaks score ties by
+   dataset ID (smallest first) — both for which tied dataset is retained at
+   the ``k``-th position and for the final ordering.
 
-The result is exact: only datasets that provably cannot reach the top-``k``
-are pruned.
+The result is exact, and since every dataset tied with the k-th best score
+is provably verified (its leaf's upper bound is at least that score), the
+canonical tie-breaking makes the answer a pure function of the indexed
+dataset set: identical across cell-set backends *and* across tree shapes, so
+an incrementally mutated (and rebalanced) DITS-L returns bit-identical
+results to a freshly rebuilt one.  When fewer than ``k`` datasets overlap
+the query but at least one does, the remainder is filled with zero-score
+datasets in ascending-ID order (the seed filled from candidate leaves in
+scan order, which leaked the tree shape into the answer).
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ from repro.core.dataset import DatasetNode
 from repro.core.problems import OverlapQuery, OverlapResult
 from repro.index.dits import DITSLocalIndex, InternalNode, LeafNode
 from repro.search.bounds import leaf_intersection_bounds
-from repro.utils.heaps import BoundedTopK
+from repro.utils.heaps import CanonicalTopK
 
 __all__ = ["OverlapSearch", "OverlapSearchStats"]
 
@@ -157,13 +164,16 @@ class OverlapSearch:
         candidates: list[tuple[int, int, _CandidateLeaf]],
         stats: OverlapSearchStats,
     ) -> OverlapResult:
-        heap: BoundedTopK[str] = BoundedTopK(k)
+        heap: CanonicalTopK[str] = CanonicalTopK(k)
         query_cells = query.cells
         while candidates:
             _, _, candidate = heapq.heappop(candidates)
             # Candidates pop in decreasing upper-bound order, so once the
             # current leaf's upper bound cannot beat the established k-th
-            # overlap, no later leaf can either.
+            # overlap, no later leaf can either.  (A leaf whose upper bound
+            # *equals* the k-th score is still verified, so every dataset
+            # tied at the boundary reaches the canonical heap and the tie is
+            # settled by dataset ID, not by tree shape.)
             if heap.is_full() and candidate.upper < heap.kth_score():
                 stats.pruned_by_bounds += 1
                 break
@@ -171,16 +181,23 @@ class OverlapSearch:
             stats.verified_datasets += len(candidate.leaf.entries)
             for dataset_id, overlap in overlaps.items():
                 heap.push(float(overlap), dataset_id)
-            # Datasets in the leaf that share no cell still count as overlap
-            # zero candidates when fewer than k positive matches exist; they
-            # are only added while the heap is not full, mirroring lines 6-7
-            # of Algorithm 2.
-            if not heap.is_full():
-                for entry in candidate.leaf.entries:
-                    if entry.dataset_id not in overlaps:
-                        heap.push(0.0, entry.dataset_id)
-                        if heap.is_full():
-                            break
+        # Fewer than k datasets overlap the query (the loop verified every
+        # positive-overlap dataset, or the heap would be full): fill with
+        # zero-score datasets in ascending-ID order, mirroring lines 6-7 of
+        # Algorithm 2 but independent of the leaf layout.  A query that
+        # overlaps nothing keeps returning an empty result.  ``nsmallest``
+        # over the k smallest IDs (at most ``len(heap)`` of which are
+        # already retained) finds the fillers in one O(n) scan instead of
+        # sorting the whole corpus id list per query.
+        if heap and not heap.is_full():
+            smallest_ids = heapq.nsmallest(
+                k, (entry.dataset_id for entry in self._index.nodes())
+            )
+            for dataset_id in smallest_ids:
+                if dataset_id not in heap:
+                    heap.push(0.0, dataset_id)
+                    if heap.is_full():
+                        break
         return OverlapResult.from_pairs((dataset_id, score) for score, dataset_id in heap.items())
 
     @staticmethod

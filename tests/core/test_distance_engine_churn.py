@@ -1,0 +1,111 @@
+"""Regression: the DistanceEngine identity guard must survive index churn.
+
+The PR-4 engine caches decoded coordinates and KD-trees per *dataset id*.
+The PR-5 mutation paths make id reuse a routine event — a dataset is deleted
+from a DITS-L index and a different dataset is inserted under the same id
+(or an update re-grids it in place).  The cache must never serve the old
+geometry for the new cells: entries are guarded by the identity of the
+node's ``cells`` frozenset, and these tests pin that behaviour under the
+exact churn sequences the local index now performs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import DatasetNode
+from repro.core.distance import cell_set_distance
+from repro.core.distance_engine import DistanceEngine
+from repro.core.geometry import BoundingBox
+from repro.core.grid import Grid
+from repro.index.dits import DITSLocalIndex
+
+GRID = Grid(theta=8, space=BoundingBox(0, 0, 256, 256))
+
+
+def node_at(name: str, coords: set[tuple[int, int]]) -> DatasetNode:
+    return DatasetNode.from_cells(
+        name, {GRID.cell_id_from_coords(x, y) for x, y in coords}, GRID
+    )
+
+
+@pytest.fixture
+def engine() -> DistanceEngine:
+    return DistanceEngine(max_entries=64)
+
+
+class TestIdReuseThroughIndexChurn:
+    def test_delete_then_reinsert_same_id_refreshes_min_distances(self, engine):
+        query = node_at("query", {(0, 0), (1, 1)})
+        index = DITSLocalIndex(leaf_capacity=4)
+        original = node_at("churned", {(10, 10), (11, 11)})
+        index.build([original, node_at("bystander", {(100, 100)})])
+
+        before = engine.min_distances(query, [index.get("churned")])
+        assert before[0] == pytest.approx(
+            cell_set_distance(query.cells, original.cells)
+        )
+
+        # Delete the dataset, insert a *different* one reusing the id — the
+        # pattern a refreshed source produces.
+        index.delete("churned")
+        replacement = node_at("churned", {(200, 200), (201, 201)})
+        index.insert(replacement)
+
+        after = engine.min_distances(query, [index.get("churned")])
+        assert after[0] == pytest.approx(
+            cell_set_distance(query.cells, replacement.cells)
+        )
+        assert after[0] > before[0]
+        info = engine.cache_info()
+        assert info.invalidations >= 1
+
+    def test_update_in_index_refreshes_within_delta(self, engine):
+        query = node_at("query", {(0, 0)})
+        index = DITSLocalIndex(leaf_capacity=4)
+        near = node_at("mover", {(3, 3)})
+        index.build([near, node_at("anchor", {(5, 5)})])
+
+        assert engine.within_delta(query, index.get("mover"), 5.0)
+
+        # Move the dataset far away through the index's update path.
+        index.update(node_at("mover", {(200, 200)}))
+        assert not engine.within_delta(query, index.get("mover"), 5.0)
+
+        # And back near again: the predicate must flip back, not replay a
+        # cached verdict from either earlier geometry.
+        index.update(node_at("mover", {(2, 2)}))
+        assert engine.within_delta(query, index.get("mover"), 5.0)
+
+    def test_batched_predicates_after_randomised_churn(self, engine):
+        rng = np.random.default_rng(31)
+        index = DITSLocalIndex(leaf_capacity=3)
+        names = [f"ds-{i:02d}" for i in range(12)]
+
+        def random_node(name: str) -> DatasetNode:
+            ox, oy = int(rng.integers(0, 250)), int(rng.integers(0, 250))
+            return node_at(name, {(ox, oy), (min(ox + 2, 255), min(oy + 2, 255))})
+
+        index.build([random_node(name) for name in names])
+        query = node_at("query", {(128, 128), (129, 129)})
+
+        for _ in range(40):
+            victim = names[int(rng.integers(0, len(names)))]
+            if rng.integers(0, 2) == 0:
+                index.delete(victim)
+                index.insert(random_node(victim))
+            else:
+                index.update(random_node(victim))
+            # Every answer must reflect the *current* geometry exactly.
+            candidates = [index.get(name) for name in names]
+            distances = engine.min_distances(query, candidates)
+            for candidate, got in zip(candidates, distances):
+                assert got == pytest.approx(
+                    cell_set_distance(query.cells, candidate.cells)
+                )
+            mask = engine.within_delta_many(query, candidates, 40.0)
+            for candidate, verdict in zip(candidates, mask):
+                assert verdict == (
+                    cell_set_distance(query.cells, candidate.cells) <= 40.0
+                )

@@ -1,0 +1,352 @@
+"""Tests for DITS-L incremental rebalancing (scapegoat rebuilds, merges, refits)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import DatasetNode
+from repro.core.errors import InvalidParameterError
+from repro.core.geometry import BoundingBox
+from repro.core.grid import Grid
+from repro.index.dits import DITSLocalIndex, InternalNode, LeafNode
+from repro.index.dits_rebalance import RebalancePolicy
+
+GRID = Grid(theta=9, space=BoundingBox(0, 0, 512, 512))
+
+
+def node(name: str, coords: set[tuple[int, int]]) -> DatasetNode:
+    return DatasetNode.from_cells(
+        name, {GRID.cell_id_from_coords(x, y) for x, y in coords}, GRID
+    )
+
+
+def point_node(name: str, x: int, y: int) -> DatasetNode:
+    return node(name, {(x, y)})
+
+
+def random_nodes(count: int, seed: int = 0) -> list[DatasetNode]:
+    rng = np.random.default_rng(seed)
+    nodes = []
+    for i in range(count):
+        ox = int(rng.integers(0, 490))
+        oy = int(rng.integers(0, 490))
+        coords = {
+            (ox + int(rng.integers(0, 10)), oy + int(rng.integers(0, 10)))
+            for _ in range(int(rng.integers(3, 9)))
+        }
+        nodes.append(node(f"ds-{i}", coords))
+    return nodes
+
+
+def assert_structure_valid(index: DITSLocalIndex) -> None:
+    """Sizes, parent pointers, MBRs and the leaf registry are all consistent."""
+    if not index.is_built():
+        assert len(index) == 0
+        return
+    root = index.root  # flushes any deferred refits first
+    assert root.parent is None
+    seen_ids: list[str] = []
+
+    def check(tree_node) -> tuple[int, BoundingBox]:
+        if isinstance(tree_node, LeafNode):
+            assert tree_node.entries, "empty leaves must be collapsed"
+            assert tree_node.size == len(tree_node.entries)
+            tight = BoundingBox.union_of(entry.rect for entry in tree_node.entries)
+            assert tree_node.rect == tight, "leaf MBR must be exact after a flush"
+            for entry in tree_node.entries:
+                assert index.leaf_for(entry.dataset_id) is tree_node
+                seen_ids.append(entry.dataset_id)
+            return tree_node.size, tree_node.rect
+        assert isinstance(tree_node, InternalNode)
+        assert tree_node.left.parent is tree_node
+        assert tree_node.right.parent is tree_node
+        left_size, left_rect = check(tree_node.left)
+        right_size, right_rect = check(tree_node.right)
+        assert tree_node.size == left_size + right_size
+        assert tree_node.rect == left_rect.union(right_rect), (
+            "internal MBR must equal the union of its children after a flush"
+        )
+        return tree_node.size, tree_node.rect
+
+    total, _ = check(root)
+    assert total == len(index)
+    assert sorted(seen_ids) == index.dataset_ids()
+
+
+def assert_alpha_balanced(index: DITSLocalIndex) -> None:
+    policy = index.rebalance_policy
+    if not index.is_built():
+        return
+
+    def check(tree_node) -> None:
+        if isinstance(tree_node, InternalNode):
+            if tree_node.size >= policy.min_rebuild_size:
+                heavier = max(tree_node.left.size, tree_node.right.size)
+                assert heavier <= policy.alpha * tree_node.size, (
+                    f"alpha-balance violated: {tree_node.left.size}/"
+                    f"{tree_node.right.size} under size {tree_node.size}"
+                )
+            check(tree_node.left)
+            check(tree_node.right)
+
+    check(index.root)
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize("alpha", [0.0, 0.5, 1.0, 1.5])
+    def test_alpha_out_of_range_rejected(self, alpha):
+        with pytest.raises(InvalidParameterError):
+            RebalancePolicy(alpha=alpha)
+
+    def test_min_rebuild_size_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            RebalancePolicy(min_rebuild_size=1)
+
+    def test_default_policy_enabled(self):
+        index = DITSLocalIndex()
+        assert index.rebalance_policy.enabled
+        assert not index.rebalance_policy.deferred_refit
+
+
+class TestScapegoatRebuilds:
+    def test_drifting_inserts_stay_balanced(self):
+        """A monotone insert stream grows a spine without rebalancing."""
+        index = DITSLocalIndex(leaf_capacity=2)
+        skewed = DITSLocalIndex(
+            leaf_capacity=2, rebalance=RebalancePolicy(enabled=False)
+        )
+        for i in range(128):
+            index.insert(point_node(f"d-{i:03d}", 2 * i, 2 * i))
+            skewed.insert(point_node(f"d-{i:03d}", 2 * i, 2 * i))
+        assert index.rebalance_stats.rebalance_count > 0
+        assert skewed.rebalance_stats.rebalance_count == 0
+        assert index.height() < skewed.height()
+        # 128 datasets at capacity 2 need >= 64 leaves: balanced depth ~7+1.
+        assert index.height() <= 2 * 8
+        assert_alpha_balanced(index)
+        assert_structure_valid(index)
+        assert_structure_valid(skewed)
+
+    def test_alpha_invariant_after_mixed_churn(self):
+        nodes = random_nodes(120, seed=3)
+        index = DITSLocalIndex(leaf_capacity=4)
+        index.build(nodes[:80])
+        rng = np.random.default_rng(11)
+        live = [n.dataset_id for n in nodes[:80]]
+        extra = iter(nodes[80:])
+        for step in range(120):
+            kind = step % 3
+            if kind == 0:
+                fresh = next(extra, None)
+                if fresh is not None:
+                    index.insert(fresh)
+                    live.append(fresh.dataset_id)
+            elif kind == 1 and live:
+                victim = live.pop(int(rng.integers(0, len(live))))
+                index.delete(victim)
+            elif live:
+                moved = live[int(rng.integers(0, len(live)))]
+                index.update(
+                    point_node(moved, int(rng.integers(0, 500)), int(rng.integers(0, 500)))
+                )
+            assert_alpha_balanced(index)
+        assert_structure_valid(index)
+
+    def test_disabled_policy_never_rebuilds(self):
+        index = DITSLocalIndex(leaf_capacity=2, rebalance=RebalancePolicy(enabled=False))
+        for i in range(64):
+            index.insert(point_node(f"d-{i:03d}", 3 * i, 3 * i))
+        stats = index.rebalance_stats
+        assert stats.rebalance_count == 0
+        assert stats.leaf_merges == 0
+        assert_structure_valid(index)
+
+    def test_rebuild_preserves_lookup_registry(self):
+        index = DITSLocalIndex(leaf_capacity=2)
+        for i in range(64):
+            index.insert(point_node(f"d-{i:03d}", 4 * i, 0))
+        assert index.rebalance_stats.rebalance_count > 0
+        for i in range(64):
+            leaf = index.leaf_for(f"d-{i:03d}")
+            assert f"d-{i:03d}" in leaf.dataset_ids()
+
+
+class TestLeafUnderflowMerge:
+    def test_delete_storm_merges_underfull_leaves(self):
+        nodes = random_nodes(90, seed=5)
+        index = DITSLocalIndex(leaf_capacity=16)
+        index.build(nodes)
+        for victim in [n.dataset_id for n in nodes[:78]]:
+            index.delete(victim)
+        assert index.rebalance_stats.leaf_merges > 0
+        assert_structure_valid(index)
+
+    def test_merge_requires_room_in_sibling(self):
+        # Two leaves: one full (16), one shrinking to 1.  16 + 1 > 16 would
+        # overflow, so the underfull leaf must survive un-merged until the
+        # sibling has room.
+        left = [point_node(f"l-{i:02d}", i, 0) for i in range(16)]
+        right = [point_node(f"r-{i:02d}", 400 + i, 400) for i in range(4)]
+        index = DITSLocalIndex(leaf_capacity=16)
+        index.build(left + right)
+        for i in range(3):
+            index.delete(f"r-{i:02d}")
+        assert_structure_valid(index)
+        assert "r-03" in index
+
+    def test_merges_disabled_by_policy(self):
+        nodes = random_nodes(90, seed=6)
+        index = DITSLocalIndex(
+            leaf_capacity=16, rebalance=RebalancePolicy(merge_underflow=False)
+        )
+        index.build(nodes)
+        for victim in [n.dataset_id for n in nodes[:78]]:
+            index.delete(victim)
+        assert index.rebalance_stats.leaf_merges == 0
+        assert_structure_valid(index)
+
+
+class TestDeferredRefit:
+    def test_burst_defers_then_flush_tightens(self):
+        nodes = random_nodes(60, seed=7)
+        index = DITSLocalIndex(
+            leaf_capacity=5, rebalance=RebalancePolicy(deferred_refit=True)
+        )
+        index.build(nodes)
+        for victim in [n.dataset_id for n in nodes[:20]]:
+            index.delete(victim)
+        stats = index.rebalance_stats
+        assert stats.deferred_refits > 0
+        flushes_before = stats.refit_flushes
+        # Observing the tree (as any query does) flushes the burst once...
+        assert_structure_valid(index)
+        assert stats.refit_flushes == flushes_before + 1
+        # ...and a quiescent re-observation does not flush again.
+        index.height()
+        assert stats.refit_flushes == flushes_before + 1
+
+    def test_deferred_and_eager_reach_identical_rects(self):
+        nodes = random_nodes(70, seed=8)
+        eager = DITSLocalIndex(leaf_capacity=5)
+        deferred = DITSLocalIndex(
+            leaf_capacity=5, rebalance=RebalancePolicy(deferred_refit=True)
+        )
+        eager.build(nodes)
+        deferred.build(nodes)
+        rng = np.random.default_rng(9)
+        live = [n.dataset_id for n in nodes]
+        for step in range(40):
+            if step % 2 == 0 and live:
+                victim = live.pop(int(rng.integers(0, len(live))))
+                eager.delete(victim)
+                deferred.delete(victim)
+            elif live:
+                moved = live[int(rng.integers(0, len(live)))]
+                replacement = point_node(
+                    moved, int(rng.integers(0, 500)), int(rng.integers(0, 500))
+                )
+                eager.update(replacement)
+                deferred.update(replacement)
+        assert_structure_valid(eager)
+        assert_structure_valid(deferred)
+
+    def test_mutations_between_queries_stay_conservative(self):
+        """Mid-burst MBRs may be loose but must always cover their content."""
+        nodes = random_nodes(40, seed=10)
+        index = DITSLocalIndex(
+            leaf_capacity=4, rebalance=RebalancePolicy(deferred_refit=True)
+        )
+        index.build(nodes)
+        for victim in [n.dataset_id for n in nodes[:10]]:
+            index.delete(victim)
+        # Walk the raw tree without flushing: every node must contain its
+        # descendants even while re-tightening is deferred.
+        stack = [index._root]
+        while stack:
+            tree_node = stack.pop()
+            if isinstance(tree_node, LeafNode):
+                for entry in tree_node.entries:
+                    assert tree_node.rect.contains_box(entry.rect)
+            else:
+                assert tree_node.rect.contains_box(tree_node.left.rect)
+                assert tree_node.rect.contains_box(tree_node.right.rect)
+                stack.extend(tree_node.children())
+
+
+class TestUpdateRelocation:
+    def test_far_move_relocates_to_another_leaf(self):
+        """Regression: an in-place far move used to bloat the old leaf's MBR."""
+        cluster_a = [point_node(f"a-{i:02d}", i, i) for i in range(8)]
+        cluster_b = [point_node(f"b-{i:02d}", 480 + i, 480 + i) for i in range(8)]
+        index = DITSLocalIndex(leaf_capacity=8)
+        index.build(cluster_a + cluster_b)
+        old_leaf = index.leaf_for("a-00")
+        moved = point_node("a-00", 500, 500)
+        index.update(moved)
+        new_leaf = index.leaf_for("a-00")
+        assert new_leaf is not old_leaf
+        assert "a-00" not in old_leaf.dataset_ids()
+        # The old leaf's MBR must not retain the stale far-away extent.
+        tight = BoundingBox.union_of(entry.rect for entry in old_leaf.entries)
+        assert old_leaf.rect == tight
+        assert not old_leaf.rect.contains_box(moved.rect)
+        assert_structure_valid(index)
+
+    def test_near_move_stays_in_place(self):
+        cluster = [point_node(f"a-{i:02d}", i * 2, 0) for i in range(6)]
+        index = DITSLocalIndex(leaf_capacity=8)
+        index.build(cluster)
+        leaf = index.leaf_for("a-03")
+        index.update(point_node("a-03", 7, 1))
+        assert index.leaf_for("a-03") is leaf
+        assert_structure_valid(index)
+
+    def test_update_preserves_dataset_count(self):
+        nodes = random_nodes(30, seed=12)
+        index = DITSLocalIndex(leaf_capacity=4)
+        index.build(nodes)
+        rng = np.random.default_rng(13)
+        for _ in range(25):
+            moved = nodes[int(rng.integers(0, len(nodes)))].dataset_id
+            index.update(
+                point_node(moved, int(rng.integers(0, 500)), int(rng.integers(0, 500)))
+            )
+        assert len(index) == 30
+        assert_structure_valid(index)
+
+
+class TestDeepTreeRegression:
+    def test_height_survives_pathological_depth(self):
+        """Satellite fix: ``height()`` must not recurse once per tree level.
+
+        With rebalancing disabled, a monotone insert stream at capacity 1
+        builds a spine deeper than the default interpreter recursion limit;
+        the previous recursive ``height()`` raised ``RecursionError`` here.
+        """
+        deep_grid = Grid(theta=11, space=BoundingBox(0, 0, 2048, 2048))
+        index = DITSLocalIndex(
+            leaf_capacity=1, rebalance=RebalancePolicy(enabled=False)
+        )
+        depth = 1100
+        for i in range(depth):
+            # Strictly monotone diagonal pivots keep every insert in the
+            # rightmost leaf, growing the tree by one level per insert.
+            index.insert(
+                DatasetNode.from_cells(
+                    f"d-{i:04d}", {deep_grid.cell_id_from_coords(i, i)}, deep_grid
+                )
+            )
+        measured = index.height()
+        assert measured > 1000  # deep enough to have overflowed the old recursion
+        assert index.node_count() == 2 * depth - 1
+
+    def test_rebalancer_keeps_same_stream_shallow(self):
+        index = DITSLocalIndex(leaf_capacity=1)
+        for i in range(300):
+            index.insert(
+                point_node(f"d-{i:04d}", i % 512, i // 512)
+            )
+        # log2(300) ~ 8.2; alpha=0.65 keeps the height within ~1.6x of that.
+        assert index.height() <= 16
+        assert_alpha_balanced(index)

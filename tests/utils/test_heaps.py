@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.utils.heaps import BoundedTopK
+from repro.utils.heaps import BoundedTopK, CanonicalTopK
 
 
 class TestBasics:
@@ -82,3 +82,58 @@ class TestProperties:
             heap.push(score, index)
         assert len(heap) <= k
         assert heap.is_full() == (len(scores) >= k)
+
+
+class TestCanonicalTopK:
+    def test_rejects_non_positive_k(self):
+        with pytest.raises(ValueError):
+            CanonicalTopK(0)
+
+    def test_ties_broken_by_item_not_insertion_order(self):
+        heap = CanonicalTopK(2)
+        heap.push(2.0, "zebra")
+        heap.push(2.0, "alpha")
+        heap.push(2.0, "mango")
+        assert [item for _, item in heap.items()] == ["alpha", "mango"]
+
+    def test_contains_tracks_retained_items(self):
+        heap = CanonicalTopK(2)
+        heap.push(1.0, "a")
+        heap.push(3.0, "b")
+        heap.push(2.0, "c")
+        assert "a" not in heap
+        assert "b" in heap and "c" in heap
+
+    def test_items_ordered_score_desc_then_item_asc(self):
+        heap = CanonicalTopK(4)
+        for score, item in [(1.0, "d"), (2.0, "b"), (2.0, "a"), (1.0, "c")]:
+            heap.push(score, item)
+        assert heap.items() == [(2.0, "a"), (2.0, "b"), (1.0, "c"), (1.0, "d")]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=30),
+            ),
+            min_size=1,
+            max_size=40,
+            unique_by=lambda pair: pair[1],
+        ),
+        st.integers(min_value=1, max_value=8),
+        st.randoms(),
+    )
+    def test_insertion_order_invariance(self, pairs, k, rng):
+        """The retained set is a pure function of the offered pairs."""
+        shuffled = list(pairs)
+        rng.shuffle(shuffled)
+        heap_a, heap_b = CanonicalTopK(k), CanonicalTopK(k)
+        for score, item in pairs:
+            heap_a.push(float(score), item)
+        for score, item in shuffled:
+            heap_b.push(float(score), item)
+        expected = sorted(
+            ((float(s), i) for s, i in pairs), key=lambda p: (-p[0], p[1])
+        )[:k]
+        assert heap_a.items() == expected
+        assert heap_b.items() == expected
