@@ -1,0 +1,42 @@
+"""Static analysis for the repro codebase: lock discipline, purity, API drift.
+
+PRs 2-5 turned the reproduction into a concurrent system whose correctness
+rests on invariants that runtime differential tests can only sample: shared
+mutable state must be touched under its lock, caches must not key mutable or
+identity-unstable values, parity-critical hot paths must stay deterministic,
+and the public API surface must not silently drift.  This subpackage checks
+those contracts *statically*, at lint time, the way a race detector or
+sanitizer would in a native stack:
+
+* :mod:`repro.analysis.engine` walks a source tree, parses every module once
+  and runs the registered checker passes over the shared project view;
+* :mod:`repro.analysis.checkers` hosts the pluggable passes — lock
+  discipline (``REPRO1xx``), unsafe caching (``REPRO2xx``), parity purity
+  (``REPRO3xx``) and API drift (``REPRO4xx``);
+* :mod:`repro.analysis.contracts` parses the in-source annotations the
+  checkers consume (``# guarded-by: <lock>``, ``# parity-critical``,
+  ``# repro-lint: holds=<lock>``) and the suppression syntax
+  (``# repro-lint: disable=<code>``).
+
+Run it via ``python -m repro.cli lint`` (table or JSON output) or
+programmatically::
+
+    >>> from repro.analysis import AnalysisEngine
+    >>> report = AnalysisEngine.for_package().run()
+    >>> report.findings
+    []
+"""
+
+from repro.analysis.engine import AnalysisEngine, AnalysisReport, ModuleSource, Project
+from repro.analysis.findings import CHECKER_CODES, Finding
+from repro.analysis.checkers import all_checkers
+
+__all__ = [
+    "AnalysisEngine",
+    "AnalysisReport",
+    "CHECKER_CODES",
+    "Finding",
+    "ModuleSource",
+    "Project",
+    "all_checkers",
+]

@@ -1,0 +1,35 @@
+"""Pluggable checker passes of the static-analysis layer.
+
+Each checker subclasses :class:`~repro.analysis.checkers.base.Checker` and
+emits :class:`~repro.analysis.findings.Finding` records; :func:`all_checkers`
+is the registry the engine (and the CLI) instantiate by default.  New
+invariants — e.g. the serving-tier contracts the ROADMAP plans — land here
+as additional passes without touching the engine.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.checkers.api_drift import ApiDriftChecker
+from repro.analysis.checkers.base import Checker
+from repro.analysis.checkers.lock_discipline import LockDisciplineChecker
+from repro.analysis.checkers.parity_purity import ParityPurityChecker
+from repro.analysis.checkers.unsafe_cache import UnsafeCacheChecker
+
+__all__ = [
+    "ApiDriftChecker",
+    "Checker",
+    "LockDisciplineChecker",
+    "ParityPurityChecker",
+    "UnsafeCacheChecker",
+    "all_checkers",
+]
+
+
+def all_checkers() -> list[Checker]:
+    """Fresh instances of every registered checker pass."""
+    return [
+        LockDisciplineChecker(),
+        UnsafeCacheChecker(),
+        ParityPurityChecker(),
+        ApiDriftChecker(),
+    ]

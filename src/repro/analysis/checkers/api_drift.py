@@ -1,0 +1,245 @@
+"""API-drift checker: the exported surface exists, is typed and documented.
+
+Every package ``__init__`` re-exports its public surface through ``__all__``;
+a rename or deletion deeper in the tree silently breaks that contract until
+an import fails at runtime.  This pass resolves every ``__all__`` entry of
+every module (following ``from repro.x import name`` chains across the
+project) and reports:
+
+* ``REPRO401`` — the name does not resolve to any definition;
+* ``REPRO402`` — it resolves to a function whose parameters or return type
+  are unannotated (or a class whose public methods are), so the strict-mypy
+  gate cannot see through the export;
+* ``REPRO403`` — the resolved function or class has no docstring.
+
+Symbols resolving to plain data assignments (profile tables, version
+strings, type aliases) are checked for existence only.  Dunder methods must
+be annotated but are exempt from the docstring requirement.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.engine import ModuleSource, Project
+from repro.analysis.findings import Finding
+
+__all__ = ["ApiDriftChecker"]
+
+_MAX_RESOLUTION_DEPTH = 16
+
+
+@dataclass(frozen=True, slots=True)
+class _Symbol:
+    """Where an exported name resolved: its module and defining AST node."""
+
+    module: ModuleSource
+    node: ast.AST
+
+
+class ApiDriftChecker(Checker):
+    """Validates ``__all__`` exports: existence, annotations, docstrings."""
+
+    name = "api-drift"
+    codes = ("REPRO401", "REPRO402", "REPRO403")
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        """Resolve and validate every ``__all__`` export across the project."""
+        tables = {
+            module.module: self._symbol_table(module)
+            for module in project.modules.values()
+        }
+        seen: set[int] = set()
+        for module in project.sorted_modules():
+            exports = self._module_all(module)
+            if exports is None:
+                continue
+            for lineno, name in exports:
+                resolved = self._resolve(project, tables, module.module, name, 0)
+                if resolved is None:
+                    yield Finding(
+                        path=module.path,
+                        line=lineno,
+                        code="REPRO401",
+                        message=(
+                            f"__all__ exports {name!r}, which does not resolve to "
+                            "any definition in the project"
+                        ),
+                        symbol=name,
+                    )
+                    continue
+                if resolved == "external":
+                    continue
+                marker = id(resolved.node)
+                if marker in seen:
+                    continue  # one report per definition, not per re-export
+                seen.add(marker)
+                yield from self._check_symbol(name, resolved)
+
+    # ------------------------------------------------------------------ #
+    # Symbol tables and resolution
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _symbol_table(module: ModuleSource) -> dict[str, ast.AST | tuple[str, str]]:
+        """Top-level bindings: name -> defining node or (module, name) import."""
+        table: dict[str, ast.AST | tuple[str, str]] = {}
+        for statement in module.tree.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                table[statement.name] = statement
+            elif isinstance(statement, ast.Assign):
+                for target in statement.targets:
+                    if isinstance(target, ast.Name):
+                        table[target.id] = statement
+            elif isinstance(statement, ast.AnnAssign):
+                if isinstance(statement.target, ast.Name):
+                    table[statement.target.id] = statement
+            elif isinstance(statement, ast.ImportFrom):
+                if statement.module is None or statement.level:
+                    continue
+                for alias in statement.names:
+                    bound = alias.asname if alias.asname else alias.name
+                    table[bound] = (statement.module, alias.name)
+            elif isinstance(statement, ast.Import):
+                for alias in statement.names:
+                    bound = alias.asname if alias.asname else alias.name.split(".", 1)[0]
+                    table[bound] = statement
+            elif isinstance(statement, ast.If):
+                # TYPE_CHECKING blocks and friends: take the happy branch.
+                for sub in statement.body:
+                    if isinstance(
+                        sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                    ):
+                        table[sub.name] = sub
+        return table
+
+    def _module_all(self, module: ModuleSource) -> list[tuple[int, str]] | None:
+        """The ``(line, name)`` entries of the module's ``__all__``, if literal."""
+        for statement in module.tree.body:
+            if (
+                isinstance(statement, ast.Assign)
+                and len(statement.targets) == 1
+                and isinstance(statement.targets[0], ast.Name)
+                and statement.targets[0].id == "__all__"
+                and isinstance(statement.value, (ast.List, ast.Tuple))
+            ):
+                entries = []
+                for element in statement.value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                        entries.append((element.lineno, element.value))
+                return entries
+        return None
+
+    def _resolve(
+        self,
+        project: Project,
+        tables: dict[str, dict[str, ast.AST | tuple[str, str]]],
+        module_name: str,
+        symbol: str,
+        depth: int,
+    ) -> "_Symbol | str | None":
+        """Follow import chains to the defining node; ``'external'`` leaves the project."""
+        if depth > _MAX_RESOLUTION_DEPTH:
+            return None
+        module = project.module(module_name)
+        if module is None:
+            return "external"
+        entry = tables[module_name].get(symbol)
+        if entry is None:
+            # `from repro.pkg import name` may address a submodule itself.
+            if project.module(f"{module_name}.{symbol}") is not None:
+                return "external"
+            return None
+        if isinstance(entry, tuple):
+            source_module, source_name = entry
+            if (source_module, source_name) == (module_name, symbol):
+                # `from pkg import sub` inside pkg itself: the binding points
+                # back at this very lookup, so it names a submodule (or
+                # nothing), never a definition.
+                if project.module(f"{source_module}.{source_name}") is not None:
+                    return "external"
+                return None
+            return self._resolve(project, tables, source_module, source_name, depth + 1)
+        if isinstance(entry, ast.Import):
+            return "external"
+        return _Symbol(module=module, node=entry)
+
+    # ------------------------------------------------------------------ #
+    # Annotation and docstring requirements
+    # ------------------------------------------------------------------ #
+    def _check_symbol(self, name: str, symbol: _Symbol) -> Iterator[Finding]:
+        node = symbol.node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield from self._check_callable(name, symbol, node, is_method=False)
+        elif isinstance(node, ast.ClassDef):
+            yield from self._check_class(name, symbol, node)
+        # Plain assignments (constants, aliases, tables): existence suffices.
+
+    def _check_class(
+        self, name: str, symbol: _Symbol, node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        if ast.get_docstring(node) is None:
+            yield Finding(
+                path=symbol.module.path,
+                line=node.lineno,
+                code="REPRO403",
+                message=f"exported class {name!r} has no docstring",
+                symbol=name,
+            )
+        for member in node.body:
+            if not isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if member.name.startswith("_") and not member.name.startswith("__"):
+                continue  # private helpers are not part of the exported surface
+            yield from self._check_callable(
+                f"{name}.{member.name}", symbol, member, is_method=True
+            )
+
+    def _check_callable(
+        self,
+        name: str,
+        symbol: _Symbol,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        is_method: bool,
+    ) -> Iterator[Finding]:
+        dunder = node.name.startswith("__") and node.name.endswith("__")
+        if ast.get_docstring(node) is None and not dunder:
+            yield Finding(
+                path=symbol.module.path,
+                line=node.lineno,
+                code="REPRO403",
+                message=f"exported callable {name!r} has no docstring",
+                symbol=name,
+            )
+        missing: list[str] = []
+        arguments = node.args
+        parameters = (
+            list(arguments.posonlyargs) + list(arguments.args) + list(arguments.kwonlyargs)
+        )
+        skip_first = is_method and not any(
+            isinstance(decorator, ast.Name) and decorator.id == "staticmethod"
+            for decorator in node.decorator_list
+        )
+        if skip_first and parameters:
+            parameters = parameters[1:]
+        for parameter in parameters:
+            if parameter.annotation is None:
+                missing.append(parameter.arg)
+        for variadic in (arguments.vararg, arguments.kwarg):
+            if variadic is not None and variadic.annotation is None:
+                missing.append(f"*{variadic.arg}")
+        if node.returns is None and node.name != "__init__":
+            missing.append("return")
+        if missing:
+            yield Finding(
+                path=symbol.module.path,
+                line=node.lineno,
+                code="REPRO402",
+                message=(
+                    f"exported callable {name!r} is missing annotations for: "
+                    + ", ".join(missing)
+                ),
+                symbol=name,
+            )

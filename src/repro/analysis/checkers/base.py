@@ -1,0 +1,35 @@
+"""Checker base class: one pass over the parsed project, findings out.
+
+A checker either overrides :meth:`run` for project-wide analysis (API drift
+needs every module at once to resolve re-export chains) or the simpler
+:meth:`check_module` for module-local passes; the default :meth:`run` loops
+``check_module`` over the project in deterministic module order.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+from repro.analysis.engine import ModuleSource, Project
+from repro.analysis.findings import Finding
+
+__all__ = ["Checker"]
+
+
+class Checker(abc.ABC):
+    """One static-analysis pass."""
+
+    #: Short kebab-case name used in CLI output and the checker registry.
+    name: str = "checker"
+    #: Error codes this checker can emit (a subset of ``CHECKER_CODES``).
+    codes: tuple[str, ...] = ()
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        """Analyse the whole project; default defers to :meth:`check_module`."""
+        for module in project.sorted_modules():
+            yield from self.check_module(module)
+
+    def check_module(self, module: ModuleSource) -> Iterable[Finding]:
+        """Analyse one module in isolation (module-local passes override this)."""
+        return ()

@@ -1,0 +1,193 @@
+"""Unsafe-cache checker: ``functools`` caches must key safe values only.
+
+PR 4 replaced a ``functools.lru_cache`` keyed by whole ``frozenset`` cell
+sets — value-keyed, unbounded in entry size, with no notion of dataset
+identity or invalidation — with the bounded, identity-guarded
+:class:`~repro.core.distance_engine.DistanceEngine`.  This pass keeps that
+bug class out of the tree: a ``@functools.lru_cache`` / ``@functools.cache``
+decorated function is flagged (``REPRO201``) when
+
+* it is a method (the cache would retain ``self``, pinning every instance
+  forever and keying results by object identity);
+* any parameter is unannotated (the cache key is then unknowable); or
+* any parameter's annotation is not a *safe cache key*: one of ``int``,
+  ``float``, ``bool``, ``str``, ``bytes``, ``None``, an enum-like
+  ``Literal``, or a ``tuple``/``Optional``/union built from safe keys.
+  Collections like ``frozenset`` are deliberately unsafe even though they
+  are hashable — hashing whole values pins arbitrarily large payloads and
+  cannot observe rebuilds of the logical entity they describe.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.engine import ModuleSource
+from repro.analysis.findings import Finding
+
+__all__ = ["UnsafeCacheChecker"]
+
+_CACHE_NAMES = frozenset({"lru_cache", "cache"})
+_SAFE_SCALARS = frozenset({"int", "float", "bool", "str", "bytes", "complex", "None"})
+_SAFE_GENERIC_HEADS = frozenset({"tuple", "Tuple", "Optional", "Union", "Literal", "Final"})
+
+
+def _decorator_cache_name(decorator: ast.expr) -> str | None:
+    """The cache name when ``decorator`` is a functools cache, else ``None``."""
+    target = decorator.func if isinstance(decorator, ast.Call) else decorator
+    if isinstance(target, ast.Name) and target.id in _CACHE_NAMES:
+        return target.id
+    if (
+        isinstance(target, ast.Attribute)
+        and target.attr in _CACHE_NAMES
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "functools"
+    ):
+        return f"functools.{target.attr}"
+    return None
+
+
+def _is_safe_annotation(annotation: ast.expr) -> bool:
+    """Whether ``annotation`` names an immutable, identity-stable cache key."""
+    if isinstance(annotation, ast.Constant):
+        # `None`, string forward references, Literal members.
+        if annotation.value is None:
+            return True
+        if isinstance(annotation.value, str):
+            try:
+                parsed = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return False
+            return _is_safe_annotation(parsed)
+        return isinstance(annotation.value, (int, float, bool, bytes, complex))
+    if isinstance(annotation, ast.Name):
+        return annotation.id in _SAFE_SCALARS
+    if isinstance(annotation, ast.Attribute):
+        # typing.Optional etc. — judge by the terminal name.
+        return annotation.attr in _SAFE_SCALARS or annotation.attr in _SAFE_GENERIC_HEADS
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        return _is_safe_annotation(annotation.left) and _is_safe_annotation(annotation.right)
+    if isinstance(annotation, ast.Subscript):
+        head = annotation.value
+        head_name = (
+            head.id
+            if isinstance(head, ast.Name)
+            else head.attr
+            if isinstance(head, ast.Attribute)
+            else None
+        )
+        if head_name not in _SAFE_GENERIC_HEADS:
+            return False
+        if head_name == "Literal":
+            return True
+        inner = annotation.slice
+        elements = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+        return all(
+            _is_safe_annotation(element)
+            for element in elements
+            if not (isinstance(element, ast.Constant) and element.value is Ellipsis)
+        )
+    return False
+
+
+class UnsafeCacheChecker(Checker):
+    """Flags functools caches whose keys are mutable or identity-unstable."""
+
+    name = "unsafe-cache"
+    codes = ("REPRO201",)
+
+    def check_module(self, module: ModuleSource) -> Iterable[Finding]:
+        """Check every functools-cached function defined in ``module``."""
+        class_stack: list[ast.ClassDef] = []
+        yield from self._walk(module, module.tree, class_stack)
+
+    def _walk(
+        self, module: ModuleSource, scope: ast.AST, class_stack: list[ast.ClassDef]
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(scope):
+            if isinstance(child, ast.ClassDef):
+                class_stack.append(child)
+                yield from self._walk(module, child, class_stack)
+                class_stack.pop()
+                continue
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                in_class = bool(class_stack) and self._is_method(child, class_stack[-1], scope)
+                yield from self._check_function(module, child, in_class)
+                yield from self._walk(module, child, class_stack)
+                continue
+            yield from self._walk(module, child, class_stack)
+
+    @staticmethod
+    def _is_method(
+        function: ast.FunctionDef | ast.AsyncFunctionDef,
+        class_node: ast.ClassDef,
+        scope: ast.AST,
+    ) -> bool:
+        if scope is not class_node:
+            return False
+        decorators = {
+            decorator.id
+            for decorator in function.decorator_list
+            if isinstance(decorator, ast.Name)
+        }
+        return "staticmethod" not in decorators
+
+    def _check_function(
+        self,
+        module: ModuleSource,
+        function: ast.FunctionDef | ast.AsyncFunctionDef,
+        is_method: bool,
+    ) -> Iterator[Finding]:
+        cache_name = None
+        for decorator in function.decorator_list:
+            cache_name = _decorator_cache_name(decorator)
+            if cache_name is not None:
+                break
+        if cache_name is None:
+            return
+        if is_method:
+            yield Finding(
+                path=module.path,
+                line=function.lineno,
+                code="REPRO201",
+                message=(
+                    f"@{cache_name} on method {function.name!r} retains every "
+                    "`self` it ever sees and keys results by instance identity; "
+                    "cache per-instance state explicitly instead"
+                ),
+                symbol=function.name,
+            )
+            return
+        arguments = function.args
+        parameters = list(arguments.posonlyargs) + list(arguments.args) + list(
+            arguments.kwonlyargs
+        )
+        for parameter in parameters:
+            if parameter.annotation is None:
+                yield Finding(
+                    path=module.path,
+                    line=function.lineno,
+                    code="REPRO201",
+                    message=(
+                        f"@{cache_name} on {function.name!r}: parameter "
+                        f"{parameter.arg!r} is unannotated, so the cache key "
+                        "cannot be proven immutable and identity-stable"
+                    ),
+                    symbol=function.name,
+                )
+            elif not _is_safe_annotation(parameter.annotation):
+                rendered = ast.unparse(parameter.annotation)
+                yield Finding(
+                    path=module.path,
+                    line=function.lineno,
+                    code="REPRO201",
+                    message=(
+                        f"@{cache_name} on {function.name!r}: parameter "
+                        f"{parameter.arg!r}: {rendered} is not a safe cache key "
+                        "(mutable or identity-unstable; the PR 4 frozenset-cache "
+                        "bug class)"
+                    ),
+                    symbol=function.name,
+                )

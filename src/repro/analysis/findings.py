@@ -1,0 +1,64 @@
+"""Finding records and the error-code registry of the static analysis layer.
+
+Every checker reports :class:`Finding` instances carrying a stable error
+code.  Codes are grouped by checker family (``REPRO1xx`` lock discipline,
+``REPRO2xx`` unsafe caching, ``REPRO3xx`` parity purity, ``REPRO4xx`` API
+drift) so suppression comments and ``--select`` filters can address either a
+single code or a whole family by prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CHECKER_CODES", "Finding"]
+
+#: Every error code the shipped checkers can emit, with a one-line summary.
+#: ``python -m repro.cli lint --codes`` prints this table; the fixture tests
+#: assert each code fires on a known-bad snippet.
+CHECKER_CODES: dict[str, str] = {
+    "REPRO101": "guarded attribute accessed outside its declared lock",
+    "REPRO102": "guarded-by declaration names a lock the class never defines",
+    "REPRO201": "functools cache on a function with mutable or identity-unstable parameters",
+    "REPRO301": "nondeterminism source inside a parity-critical function",
+    "REPRO401": "exported symbol does not resolve to a definition",
+    "REPRO402": "exported callable is missing parameter or return annotations",
+    "REPRO403": "exported symbol is missing a docstring",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One checker diagnostic, anchored to a source location.
+
+    ``path`` is repo-relative (as the engine walked it), ``line`` is
+    1-indexed and matches the line a ``# repro-lint: disable=<code>``
+    suppression comment must sit on.  ``symbol`` names the offending
+    function, attribute or export where that helps triage.
+    """
+
+    path: str
+    line: int
+    code: str
+    message: str
+    symbol: str = ""
+    column: int = field(default=0, compare=False)
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        """Deterministic reporting order: path, line, column, code."""
+        return (self.path, self.line, self.column, self.code)
+
+    def location(self) -> str:
+        """``path:line`` form used by the table output (clickable in IDEs)."""
+        return f"{self.path}:{self.line}"
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready representation with deterministically ordered keys."""
+        return {
+            "code": self.code,
+            "column": self.column,
+            "line": self.line,
+            "message": self.message,
+            "path": self.path,
+            "symbol": self.symbol,
+        }

@@ -15,6 +15,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.bench.harness import ExperimentConfig, Workbench, time_call
+from repro.core.dataset import DatasetNode
 from repro.core.geometry import BoundingBox
 from repro.core.grid import Grid
 from repro.core.problems import CoverageQuery, OverlapQuery
@@ -25,7 +26,6 @@ from repro.index import DATASET_INDEX_CLASSES
 from repro.index.dits_global import DITSGlobalIndex, SourceSummary
 from repro.index.dits_global_sharded import ShardedDITSGlobalIndex, ShardPolicy
 from repro.index.dits import DITSLocalIndex
-from repro.index.rtree import RTreeIndex
 from repro.index.stats import index_memory_bytes
 from repro.search.coverage import CoverageSearch
 from repro.search.coverage_baselines import StandardGreedy, StandardGreedyWithDITS
@@ -588,8 +588,6 @@ def fig21_22_index_updates(
         for dataset in extra_datasets
     ]
     # Re-identify the extra nodes so they never collide with indexed IDs.
-    from repro.core.dataset import DatasetNode
-
     extra_nodes = [
         DatasetNode(
             dataset_id=f"new-{i}", rect=node.rect, cells=node.cells, point_count=node.point_count
@@ -642,8 +640,6 @@ def _churn_grid() -> Grid:
 
 
 def _churn_dataset_node(grid: Grid, dataset_id: str, ox: int, oy: int, rng) -> "DatasetNode":
-    from repro.core.dataset import DatasetNode
-
     extent = int(grid.space.width)
     ox = min(max(ox, 0), extent - 13)
     oy = min(max(oy, 0), extent - 13)
@@ -654,7 +650,7 @@ def _churn_dataset_node(grid: Grid, dataset_id: str, ox: int, oy: int, rng) -> "
     return DatasetNode.from_cells(dataset_id, cells, grid)
 
 
-def _churn_corpus(grid: Grid, count: int, rng) -> list:
+def _churn_corpus(grid: Grid, count: int, rng) -> list[DatasetNode]:
     extent = int(grid.space.width)
     return [
         _churn_dataset_node(
@@ -668,7 +664,7 @@ def _churn_corpus(grid: Grid, count: int, rng) -> list:
     ]
 
 
-def _churn_queries(grid: Grid, count: int, rng) -> list:
+def _churn_queries(grid: Grid, count: int, rng) -> list[DatasetNode]:
     extent = int(grid.space.width)
     return [
         _churn_dataset_node(

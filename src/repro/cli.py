@@ -26,6 +26,12 @@ corpus on disk:
     OJSP or CJSP query end to end and report the per-source results,
     global-index shard statistics and simulated communication cost.
 
+``python -m repro.cli lint``
+    run the :mod:`repro.analysis` static checkers (lock discipline, unsafe
+    caches, parity purity, API drift) over the installed package tree;
+    ``--strict`` additionally fails on stale suppression comments.  The CI
+    gate runs ``lint --strict``.
+
 Every command prints a small aligned table to stdout and returns a process
 exit code of 0 on success, which makes the CLI easy to wire into shell
 pipelines and CI smoke tests.
@@ -34,6 +40,7 @@ pipelines and CI smoke tests.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -108,6 +115,23 @@ def build_parser() -> argparse.ArgumentParser:
     federate.add_argument("--mode", choices=("overlap", "coverage"), default="overlap")
     federate.add_argument("--delta", type=float, default=10.0,
                           help="CJSP connectivity threshold in cells (coverage mode)")
+
+    lint = subparsers.add_parser(
+        "lint", help="run the repro.analysis static checkers over the package"
+    )
+    lint.add_argument(
+        "--root", type=Path, default=None,
+        help="package root to analyse (default: the installed repro package)",
+    )
+    lint.add_argument(
+        "--select", action="append", default=None, metavar="CODE",
+        help="only report codes with this prefix (repeatable, e.g. REPRO1)",
+    )
+    lint.add_argument("--format", choices=("table", "json"), default="table")
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="also fail on suppression comments that matched no finding",
+    )
 
     return parser
 
@@ -285,12 +309,52 @@ def _command_federate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import AnalysisEngine
+
+    if args.root is not None:
+        engine = AnalysisEngine(args.root, select=args.select)
+    else:
+        engine = AnalysisEngine.for_package(select=args.select)
+    report = engine.run()
+
+    stale_failure = args.strict and bool(report.unused_suppressions)
+    if args.format == "json":
+        document = report.as_dict()
+        document["strict"] = args.strict
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        if report.findings:
+            rows = [
+                {
+                    "code": finding.code,
+                    "location": finding.location(),
+                    "symbol": finding.symbol,
+                    "message": finding.message,
+                }
+                for finding in report.findings
+            ]
+            print(format_table(rows, title=f"{len(report.findings)} finding(s)"))
+        for path, line, code in report.unused_suppressions:
+            print(f"stale suppression: {path}:{line} disables {code} but nothing fires")
+        print(
+            f"lint: {report.modules_scanned} modules, "
+            f"{len(report.findings)} finding(s), "
+            f"{len(report.suppressed)} suppressed, "
+            f"{len(report.unused_suppressions)} stale suppression(s)"
+        )
+    if report.findings or stale_failure:
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "generate": _command_generate,
     "overlap": _command_overlap,
     "coverage": _command_coverage,
     "stats": _command_stats,
     "federate": _command_federate,
+    "lint": _command_lint,
 }
 
 

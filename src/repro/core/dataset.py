@@ -270,7 +270,7 @@ class DatasetNode:
         """The node's cell-based dataset as a :class:`CellSet`."""
         return CellSet(dataset_id=self.dataset_id, cells=self.cells)
 
-    def wire_payload(self) -> dict:
+    def wire_payload(self) -> dict[str, object]:
         """Compact representation used for communication-byte accounting."""
         return {
             "id": self.dataset_id,

@@ -166,15 +166,15 @@ class DistanceEngine:
                 f"distance cache size must be positive, got {size}"
             )
         self._max_entries = size
-        self._cache: "OrderedDict[str, _NodeGeometry]" = OrderedDict()
+        self._cache: "OrderedDict[str, _NodeGeometry]" = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._invalidations = 0
-        self._trees_built = 0
-        self._batch_queries = 0
-        self._pair_queries = 0
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
+        self._invalidations = 0  # guarded-by: _lock
+        self._trees_built = 0  # guarded-by: _lock
+        self._batch_queries = 0  # guarded-by: _lock
+        self._pair_queries = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------ #
     # Geometry cache
@@ -287,7 +287,7 @@ class DistanceEngine:
             distances, _ = tree.query(stacked, k=1, distance_upper_bound=bound)
         return distances
 
-    def min_distances(
+    def min_distances(  # parity-critical
         self, query: DatasetNode, candidates: Sequence[DatasetNode]
     ) -> np.ndarray:
         """Exact Definition 6 distance from ``query`` to each candidate.
@@ -306,7 +306,7 @@ class DistanceEngine:
             self._batch_queries += 1
         return np.minimum.reduceat(distances, offsets)
 
-    def within_delta_many(
+    def within_delta_many(  # parity-critical
         self, query: DatasetNode, candidates: Sequence[DatasetNode], delta: float
     ) -> np.ndarray:
         """Exact boolean vector ``dist(query, candidate) <= delta`` per candidate.
@@ -339,7 +339,7 @@ class DistanceEngine:
             self._batch_queries += 1
         return np.logical_or.reduceat(distances <= delta, offsets)
 
-    def connected_mask(
+    def connected_mask(  # parity-critical
         self, query: DatasetNode, candidates: Sequence[DatasetNode], delta: float
     ) -> np.ndarray:
         """:meth:`within_delta_many` with a Lemma 4 bounds pre-pass.

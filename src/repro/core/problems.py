@@ -18,8 +18,8 @@ This module holds the *semantic* definitions of the two search problems
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.connectivity import satisfies_spatial_connectivity
 from repro.core.dataset import DatasetNode
@@ -111,7 +111,7 @@ class OverlapResult:
     def __len__(self) -> int:
         return len(self.entries)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[ScoredDataset]:
         return iter(self.entries)
 
     @property
@@ -154,7 +154,7 @@ class CoverageResult:
     def __len__(self) -> int:
         return len(self.entries)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[ScoredDataset]:
         return iter(self.entries)
 
     @property

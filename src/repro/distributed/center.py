@@ -30,6 +30,7 @@ for per-source requests.  Shard count 1 reproduces the monolithic tree.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -122,7 +123,8 @@ class DataCenter:
         self.grid = grid
         self.channel = channel if channel is not None else SimulatedChannel()
         self.policy = policy
-        self._sources: dict[str, DataSource] = {}
+        self._sources: dict[str, DataSource] = {}  # guarded-by: _sources_lock
+        self._sources_lock = threading.Lock()
         self._query_counter = itertools.count()
         self._dispatcher = SourceDispatcher(execution)
         # DITS-G is sharded by default; shard pruning reuses the per-source
@@ -156,8 +158,11 @@ class DataCenter:
         )
         # The source must be resolvable before it becomes routable: queries
         # racing this registration may see the summary as soon as it lands
-        # in DITS-G and immediately dispatch a request to the source.
-        self._sources[source.source_id] = source
+        # in DITS-G and immediately dispatch a request to the source.  The
+        # lock pairs that write with the reads on pool threads, which would
+        # otherwise race the dict mutation itself.
+        with self._sources_lock:
+            self._sources[source.source_id] = source
         self._global_index.register(summary)
 
     def refresh_source(self, source_id: str) -> None:
@@ -181,12 +186,14 @@ class DataCenter:
 
     def source_ids(self) -> list[str]:
         """IDs of all registered sources."""
-        return sorted(self._sources)
+        with self._sources_lock:
+            return sorted(self._sources)
 
     def source(self, source_id: str) -> DataSource:
         """The registered source object for ``source_id``."""
         try:
-            return self._sources[source_id]
+            with self._sources_lock:
+                return self._sources[source_id]
         except KeyError as exc:
             raise SourceNotFoundError(source_id) from exc
 
@@ -243,7 +250,7 @@ class DataCenter:
         self, task: tuple[SourceSummary, OverlapRequest]
     ) -> OverlapResponse:
         summary, request = task
-        source = self._sources[summary.source_id]
+        source = self.source(summary.source_id)
         self.channel.send(request, destination=summary.source_id)
         response = source.handle_overlap(request, self.grid)
         self.channel.send(response, destination=summary.source_id, to_center=True)
@@ -302,13 +309,13 @@ class DataCenter:
         self, task: tuple[SourceSummary, CoverageRequest]
     ) -> CoverageResponse:
         summary, request = task
-        source = self._sources[summary.source_id]
+        source = self.source(summary.source_id)
         self.channel.send(request, destination=summary.source_id)
         response = source.handle_coverage(request, self.grid)
         self.channel.send(response, destination=summary.source_id, to_center=True)
         return response
 
-    def _aggregate_coverage(
+    def _aggregate_coverage(  # parity-critical
         self,
         query: DatasetNode,
         k: int,

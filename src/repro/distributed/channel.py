@@ -58,7 +58,7 @@ class SimulatedChannel:
             raise ValueError("latency must be non-negative")
         self.bandwidth_bytes_per_second = bandwidth_bytes_per_second
         self.latency_ms = latency_ms
-        self.stats = ChannelStats()
+        self.stats = ChannelStats()  # guarded-by: _lock
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
@@ -93,8 +93,14 @@ class SimulatedChannel:
     # ------------------------------------------------------------------ #
     def transmission_time_ms(self) -> float:
         """Total transmission time implied by the byte count and message count."""
-        transfer_ms = self.stats.total_bytes / self.bandwidth_bytes_per_second * 1000.0
-        return transfer_ms + self.stats.messages_sent * self.latency_ms
+        with self._lock:
+            # Snapshot both counters together: reading them unlocked while a
+            # concurrent send() lands between the two reads would pair a new
+            # byte total with an old message count.
+            total_bytes = self.stats.total_bytes
+            messages_sent = self.stats.messages_sent
+        transfer_ms = total_bytes / self.bandwidth_bytes_per_second * 1000.0
+        return transfer_ms + messages_sent * self.latency_ms
 
     def snapshot(self) -> ChannelStats:
         """A consistent copy of the current statistics."""

@@ -17,6 +17,7 @@ the parity).
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
@@ -71,7 +72,8 @@ class SourceDispatcher:
 
     def __init__(self, policy: ExecutionPolicy | None = None) -> None:
         self.policy = policy if policy is not None else ExecutionPolicy()
-        self._pool: ThreadPoolExecutor | None = None
+        self._pool: ThreadPoolExecutor | None = None  # guarded-by: _pool_lock
+        self._pool_lock = threading.Lock()
 
     def map(
         self,
@@ -85,18 +87,25 @@ class SourceDispatcher:
         return list(self._ensure_pool().map(function, work))
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.policy.max_workers,
-                thread_name_prefix="repro-dispatch",
-            )
-        return self._pool
+        # Two threads can race the first parallel map (e.g. concurrent
+        # searches against one shared center): without the lock both would
+        # build a pool and one would leak its worker threads unshut.
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.policy.max_workers,
+                    thread_name_prefix="repro-dispatch",
+                )
+            return self._pool
 
     def close(self) -> None:
         """Shut the pool down (idempotent; a closed dispatcher can be reused)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        # Shut down outside the lock: wait=True blocks until in-flight tasks
+        # drain, and a task calling back into the dispatcher must not deadlock.
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "SourceDispatcher":
         return self

@@ -33,7 +33,7 @@ class RootUpload:
     rect: tuple[float, float, float, float]
     dataset_count: int
 
-    def wire_payload(self) -> dict:
+    def wire_payload(self) -> dict[str, object]:
         """Payload used for byte accounting."""
         return {"source": self.source_id, "rect": list(self.rect), "count": self.dataset_count}
 
@@ -47,7 +47,7 @@ class OverlapRequest:
     query_rect: tuple[float, float, float, float]
     k: int
 
-    def wire_payload(self) -> dict:
+    def wire_payload(self) -> dict[str, object]:
         """Payload used for byte accounting."""
         return {
             "query": self.query_id,
@@ -65,7 +65,7 @@ class OverlapResponse:
     query_id: str
     results: tuple[tuple[str, float], ...]
 
-    def wire_payload(self) -> dict:
+    def wire_payload(self) -> dict[str, object]:
         """Payload used for byte accounting."""
         return {
             "source": self.source_id,
@@ -92,7 +92,7 @@ class CoverageRequest:
     known_cells: tuple[int, ...] = field(default=())
     exclude_ids: tuple[str, ...] = field(default=())
 
-    def wire_payload(self) -> dict:
+    def wire_payload(self) -> dict[str, object]:
         """Payload used for byte accounting."""
         return {
             "query": self.query_id,
@@ -113,7 +113,7 @@ class CoverageResponse:
     query_id: str
     selections: tuple[tuple[str, tuple[int, ...]], ...]
 
-    def wire_payload(self) -> dict:
+    def wire_payload(self) -> dict[str, object]:
         """Payload used for byte accounting."""
         return {
             "source": self.source_id,

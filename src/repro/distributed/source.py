@@ -95,7 +95,7 @@ class DataSource:
         """Number of datasets indexed by this source."""
         return len(self._index)
 
-    def index_stats(self) -> dict:
+    def index_stats(self) -> dict[str, object]:
         """Shape and churn-maintenance statistics of the local index."""
         return local_index_stats(self._index)
 

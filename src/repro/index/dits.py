@@ -92,6 +92,7 @@ class InternalNode(TreeNode):
         self.size = left.size + right.size
 
     def is_leaf(self) -> bool:
+        """An internal node is never a leaf."""
         return False
 
     def children(self) -> tuple["TreeNode", "TreeNode"]:
@@ -141,6 +142,7 @@ class LeafNode(TreeNode):
         self.rebuild_inverted()
 
     def is_leaf(self) -> bool:
+        """A leaf stores dataset entries directly."""
         return True
 
     def __len__(self) -> int:

@@ -68,7 +68,7 @@ class SourceSummary:
         """Half of the MBR diagonal."""
         return self.rect.radius
 
-    def wire_payload(self) -> dict:
+    def wire_payload(self) -> dict[str, object]:
         """Compact payload for communication accounting."""
         return {
             "source": self.source_id,

@@ -47,6 +47,7 @@ from repro.utils.zorder import zorder_encode
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.distributed.executor import SourceDispatcher
+    from repro.index.dits_global import _GlobalNode
 
 __all__ = ["ShardPolicy", "ShardedDITSGlobalIndex", "DEFAULT_PARALLEL_THRESHOLD"]
 
@@ -125,13 +126,13 @@ class _Shard:
     __slots__ = ("summaries", "root", "dirty", "rebuilds", "lock")
 
     def __init__(self) -> None:
-        self.summaries: dict[str, SourceSummary] = {}
-        self.root = None
-        self.dirty = False
-        self.rebuilds = 0
+        self.summaries: dict[str, SourceSummary] = {}  # guarded-by: lock
+        self.root: "_GlobalNode | None" = None  # guarded-by: lock
+        self.dirty = False  # guarded-by: lock
+        self.rebuilds = 0  # guarded-by: lock
         self.lock = threading.Lock()
 
-    def ensure_built(self, leaf_capacity: int):
+    def ensure_built(self, leaf_capacity: int) -> "_GlobalNode | None":
         """Rebuild this shard's tree if stale; returns the immutable root."""
         with self.lock:
             if self.dirty:
@@ -175,8 +176,8 @@ class ShardedDITSGlobalIndex:
         self.parallel_threshold = parallel_threshold
         self._dispatcher = dispatcher
         self._shards = [_Shard() for _ in range(self.policy.shard_count)]
-        self._shard_of_source: dict[str, int] = {}
-        self._summaries: dict[str, SourceSummary] = {}
+        self._shard_of_source: dict[str, int] = {}  # guarded-by: _lock
+        self._summaries: dict[str, SourceSummary] = {}  # guarded-by: _lock
         self._lock = threading.RLock()
 
     @property
@@ -221,7 +222,7 @@ class ShardedDITSGlobalIndex:
             if not self.policy.defer_rebuild:
                 shard.ensure_built(self.leaf_capacity)
 
-    def _place(self, summary: SourceSummary, defer: bool = False) -> None:
+    def _place(self, summary: SourceSummary, defer: bool = False) -> None:  # repro-lint: holds=_lock
         """Insert/refresh ``summary`` in its shard (registry lock held)."""
         target = self.policy.shard_of(summary)
         previous = self._shard_of_source.get(summary.source_id)
@@ -276,7 +277,7 @@ class ShardedDITSGlobalIndex:
     # ------------------------------------------------------------------ #
     # Candidate-source selection
     # ------------------------------------------------------------------ #
-    def candidate_sources(
+    def candidate_sources(  # parity-critical
         self,
         query_rect: BoundingBox,
         delta_geo: float = 0.0,
@@ -343,7 +344,7 @@ class ShardedDITSGlobalIndex:
     # Introspection
     # ------------------------------------------------------------------ #
     @property
-    def root(self):
+    def root(self) -> "_GlobalNode":
         """Root of the first non-empty shard tree; raises when empty.
 
         The sharded index has no single tree; this accessor exists for API

@@ -121,7 +121,7 @@ class RebalanceStats:
     #: Query-time flushes that re-tightened a dirty region.
     refit_flushes: int = 0
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, object]:
         """Plain-dict view for stats reporting and benchmark rows."""
         return {
             "rebalance_count": self.rebalance_count,

@@ -93,6 +93,7 @@ class QuadTreeNode:
         return BoundingBox(self.min_x, self.min_y, self.max_x, self.max_y)
 
     def is_leaf(self) -> bool:
+        """Whether this quadrant has not been subdivided."""
         return self.children is None
 
     # ------------------------------------------------------------------ #

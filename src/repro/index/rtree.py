@@ -50,6 +50,7 @@ class RTreeNode:
             child.parent = self
 
     def is_leaf(self) -> bool:
+        """Whether this node stores entries rather than child nodes."""
         return not self.children
 
     def recompute_rect(self) -> None:

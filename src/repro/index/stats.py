@@ -22,11 +22,16 @@ from repro.index.quadtree import QuadTreeIndex
 from repro.index.rtree import RTreeIndex
 
 __all__ = [
+    "STATS_SCHEMA",
     "index_memory_bytes",
     "local_index_stats",
     "global_index_stats",
     "distance_engine_stats",
 ]
+
+#: Schema tag stamped into every stats document so downstream consumers
+#: (dashboards, benchmark JSON, tests) can detect shape changes.
+STATS_SCHEMA = "repro-stats/v1"
 
 #: Cost model (bytes) for logical index components.
 _TREE_NODE_BYTES = 64          # MBR (4 floats) + pivot/radius + pointers
@@ -90,7 +95,7 @@ def _sts3_bytes(index: STS3Index) -> int:
     return index.distinct_cells() * _CELL_KEY_BYTES + index.posting_count() * _POSTING_BYTES
 
 
-def local_index_stats(index: DITSLocalIndex) -> dict:
+def local_index_stats(index: DITSLocalIndex) -> dict[str, object]:
     """Shape, churn and maintenance counters of a DITS-L local index.
 
     ``mbr_slack`` is the total leaf-MBR looseness — the summed difference
@@ -113,7 +118,8 @@ def local_index_stats(index: DITSLocalIndex) -> dict:
         else:
             stack.append(node.right)
             stack.append(node.left)
-    stats: dict = {
+    stats: dict[str, object] = {
+        "schema": STATS_SCHEMA,
         "datasets": len(index),
         "leaf_capacity": index.leaf_capacity,
         "max_depth": index.height(),
@@ -123,10 +129,10 @@ def local_index_stats(index: DITSLocalIndex) -> dict:
         "memory_bytes": _dits_bytes(index),
     }
     stats.update(index.rebalance_stats.as_dict())
-    return stats
+    return dict(sorted(stats.items()))
 
 
-def global_index_stats(index: DITSGlobalIndex | ShardedDITSGlobalIndex) -> dict:
+def global_index_stats(index: DITSGlobalIndex | ShardedDITSGlobalIndex) -> dict[str, object]:
     """Shape and footprint of a DITS-G variant, for dashboards and the CLI.
 
     Works for both the monolithic and the sharded global index; the sharded
@@ -134,7 +140,8 @@ def global_index_stats(index: DITSGlobalIndex | ShardedDITSGlobalIndex) -> dict:
     distribution.
     """
     node_count = index.node_count()
-    stats: dict = {
+    stats: dict[str, object] = {
+        "schema": STATS_SCHEMA,
         "variant": "sharded" if isinstance(index, ShardedDITSGlobalIndex) else "monolithic",
         "sources": len(index),
         "tree_nodes": node_count,
@@ -144,10 +151,10 @@ def global_index_stats(index: DITSGlobalIndex | ShardedDITSGlobalIndex) -> dict:
     if isinstance(index, ShardedDITSGlobalIndex):
         stats["shard_count"] = index.shard_count
         stats["shard_sizes"] = index.shard_sizes()
-    return stats
+    return dict(sorted(stats.items()))
 
 
-def distance_engine_stats(engine: DistanceEngine | None = None) -> dict:
+def distance_engine_stats(engine: DistanceEngine | None = None) -> dict[str, object]:
     """Cache and kernel counters of a distance engine, for dashboards/benchmarks.
 
     Defaults to the process-wide engine.  ``hits``/``misses``/``evictions``/
@@ -157,4 +164,5 @@ def distance_engine_stats(engine: DistanceEngine | None = None) -> dict:
     the batched kernels actually performed.
     """
     info = (engine if engine is not None else get_engine()).cache_info()
-    return dict(info._asdict())
+    stats: dict[str, object] = {"schema": STATS_SCHEMA, **info._asdict()}
+    return dict(sorted(stats.items()))

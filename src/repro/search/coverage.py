@@ -65,7 +65,7 @@ class CoverageSearchStats:
     gain_skips: int = 0
 
 
-def find_connected_nodes(
+def find_connected_nodes(  # parity-critical
     root: TreeNode,
     query: DatasetNode,
     delta: float,
@@ -184,7 +184,7 @@ class CoverageSearch:
         """Run CJSP for ``request``."""
         return self.search_node(request.query, request.k, request.delta)
 
-    def search_node(self, query: DatasetNode, k: int, delta: float) -> CoverageResult:
+    def search_node(self, query: DatasetNode, k: int, delta: float) -> CoverageResult:  # parity-critical
         """Run CJSP for ``query`` with result size ``k`` and threshold ``delta``."""
         if k <= 0:
             raise InvalidParameterError(f"k must be positive, got {k}")

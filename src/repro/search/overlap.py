@@ -88,7 +88,7 @@ class OverlapSearch:
         """Run OJSP for ``request`` and return the top-k result."""
         return self.search_node(request.query, request.k)
 
-    def search_node(self, query: DatasetNode, k: int) -> OverlapResult:
+    def search_node(self, query: DatasetNode, k: int) -> OverlapResult:  # parity-critical
         """Run OJSP for ``query`` with result size ``k``."""
         stats = OverlapSearchStats()
         self.last_stats = stats
@@ -157,7 +157,7 @@ class OverlapSearch:
     # ------------------------------------------------------------------ #
     # Phase 2: verification via leaf posting lists / merge kernels
     # ------------------------------------------------------------------ #
-    def _verify(
+    def _verify(  # parity-critical
         self,
         query: DatasetNode,
         k: int,
@@ -201,7 +201,7 @@ class OverlapSearch:
         return OverlapResult.from_pairs((dataset_id, score) for score, dataset_id in heap.items())
 
     @staticmethod
-    def _leaf_overlaps(leaf: LeafNode, query_cells: frozenset[int]) -> dict[str, int]:
+    def _leaf_overlaps(leaf: LeafNode, query_cells: frozenset[int]) -> dict[str, int]:  # parity-critical
         """Exact per-dataset intersection counts computed from the posting lists.
 
         One C-level set intersection finds the cells the query shares with the
@@ -210,7 +210,10 @@ class OverlapSearch:
         """
         counts: dict[str, int] = {}
         inverted = leaf.inverted
-        for cell in query_cells & inverted.keys():
+        # Iteration order over the shared cells is arbitrary, but each
+        # dataset's count is a commutative sum and consumers rank through the
+        # order-insensitive CanonicalTopK, so no ordering escapes this dict.
+        for cell in query_cells & inverted.keys():  # repro-lint: disable=REPRO301
             for dataset_id in inverted[cell]:
                 counts[dataset_id] = counts.get(dataset_id, 0) + 1
         return counts

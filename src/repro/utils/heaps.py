@@ -151,7 +151,7 @@ class CanonicalTopK(Generic[T]):
             return float("-inf")
         return self._heap[0][0]
 
-    def push(self, score: float, item: T) -> bool:
+    def push(self, score: float, item: T) -> bool:  # parity-critical
         """Offer ``item`` with ``score``; return ``True`` if it was retained."""
         entry = (score, _ReverseOrder(item))
         if len(self._heap) < self._k:
@@ -165,7 +165,7 @@ class CanonicalTopK(Generic[T]):
             return True
         return False
 
-    def items(self) -> list[tuple[float, T]]:
+    def items(self) -> list[tuple[float, T]]:  # parity-critical
         """Return retained ``(score, item)`` pairs: score desc, item asc."""
         ordered = sorted(self._heap, key=lambda entry: (-entry[0], entry[1].value))
         return [(score, wrapped.value) for score, wrapped in ordered]

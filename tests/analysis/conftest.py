@@ -1,0 +1,66 @@
+"""Shared fixtures for the static-analysis test suite.
+
+Checker tests run against small inline source snippets.  ``module_from``
+turns a snippet into the :class:`~repro.analysis.engine.ModuleSource` view a
+checker receives, and ``codes_of`` collapses findings to their code list so
+tests assert on behaviour, not message wording.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.contracts import parse_suppressions
+from repro.analysis.engine import ModuleSource
+from repro.analysis.findings import Finding
+
+
+def _module_from(source: str, path: str = "fixture.py", module: str = "fixture") -> ModuleSource:
+    text = textwrap.dedent(source)
+    lines = tuple(text.splitlines())
+    return ModuleSource(
+        path=path,
+        module=module,
+        lines=lines,
+        tree=ast.parse(text, filename=path),
+        suppressions=parse_suppressions(lines),
+    )
+
+
+def _codes_of(findings) -> list[str]:
+    return [finding.code for finding in findings]
+
+
+@pytest.fixture
+def module_from():
+    """Build a :class:`ModuleSource` from an inline source snippet."""
+    return _module_from
+
+
+@pytest.fixture
+def codes_of():
+    """Collapse an iterable of findings to the list of their codes."""
+    return _codes_of
+
+
+@pytest.fixture
+def finding_lines():
+    """Collapse findings to ``(code, line)`` pairs for location asserts."""
+
+    def collapse(findings) -> list[tuple[str, int]]:
+        return [(finding.code, finding.line) for finding in findings]
+
+    return collapse
+
+
+def assert_all_findings(findings: list[Finding]) -> None:
+    """Sanity: every finding carries a known code, path and positive line."""
+    from repro.analysis.findings import CHECKER_CODES
+
+    for finding in findings:
+        assert finding.code in CHECKER_CODES
+        assert finding.path
+        assert finding.line >= 1

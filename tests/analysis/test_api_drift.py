@@ -1,0 +1,185 @@
+"""Fixture tests for the API-drift checker (REPRO401/402/403)."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.checkers import ApiDriftChecker
+from repro.analysis.contracts import parse_suppressions
+from repro.analysis.engine import ModuleSource, Project
+
+
+def project_from(**modules: str) -> Project:
+    """Build a project from ``{dotted_name: source}`` keyword snippets."""
+    parsed: dict[str, ModuleSource] = {}
+    for dotted, source in modules.items():
+        text = textwrap.dedent(source)
+        lines = tuple(text.splitlines())
+        path = dotted.replace(".", "/") + ".py"
+        parsed[dotted] = ModuleSource(
+            path=path,
+            module=dotted,
+            lines=lines,
+            tree=ast.parse(text, filename=path),
+            suppressions=parse_suppressions(lines),
+        )
+    return Project(root="pkg", modules=parsed)
+
+
+def run(project):
+    return list(ApiDriftChecker().run(project))
+
+
+class TestResolution:
+    def test_unresolved_export_flagged(self, codes_of):
+        project = project_from(
+            pkg="""
+            __all__ = ["missing"]
+            """
+        )
+        findings = run(project)
+        assert codes_of(findings) == ["REPRO401"]
+        assert findings[0].symbol == "missing"
+
+    def test_export_resolved_through_reexport_chain(self):
+        project = project_from(
+            pkg="""
+            from pkg.api import helper
+
+            __all__ = ["helper"]
+            """,
+            **{
+                "pkg.api": """
+                from pkg.impl import helper
+
+                __all__ = ["helper"]
+                """,
+                "pkg.impl": """
+                def helper(value: int) -> int:
+                    \"\"\"Double a value.\"\"\"
+                    return value * 2
+                """,
+            },
+        )
+        assert run(project) == []
+
+    def test_one_report_per_definition_across_reexports(self, codes_of):
+        project = project_from(
+            pkg="""
+            from pkg.impl import broken
+
+            __all__ = ["broken"]
+            """,
+            **{
+                "pkg.impl": """
+                __all__ = ["broken"]
+
+                def broken(value) -> int:
+                    \"\"\"Documented but unannotated.\"\"\"
+                    return value
+                """,
+            },
+        )
+        findings = run(project)
+        assert codes_of(findings) == ["REPRO402"]
+
+    def test_external_imports_skipped(self):
+        project = project_from(
+            pkg="""
+            import numpy as np
+            from collections import OrderedDict
+
+            __all__ = ["np", "OrderedDict"]
+            """
+        )
+        # `np` resolves to a plain Import (external); OrderedDict's source
+        # module is outside the project.
+        assert run(project) == []
+
+    def test_submodule_export_allowed(self):
+        project = project_from(
+            pkg="""
+            from pkg import api
+
+            __all__ = ["api"]
+            """,
+            **{"pkg.api": ""},
+        )
+        assert run(project) == []
+
+
+class TestAnnotationsAndDocstrings:
+    def test_missing_docstring_flagged(self, codes_of):
+        project = project_from(
+            pkg="""
+            __all__ = ["f"]
+
+            def f() -> None:
+                return None
+            """
+        )
+        assert codes_of(run(project)) == ["REPRO403"]
+
+    def test_missing_annotations_flagged(self, codes_of):
+        project = project_from(
+            pkg="""
+            __all__ = ["f"]
+
+            def f(a, b):
+                \"\"\"Docstring present.\"\"\"
+                return a + b
+            """
+        )
+        findings = run(project)
+        assert codes_of(findings) == ["REPRO402"]
+        assert "a" in findings[0].message and "return" in findings[0].message
+
+    def test_class_public_methods_checked(self, codes_of):
+        project = project_from(
+            pkg="""
+            __all__ = ["Thing"]
+
+            class Thing:
+                \"\"\"A documented class.\"\"\"
+
+                def documented(self, x: int) -> int:
+                    \"\"\"Fine.\"\"\"
+                    return x
+
+                def undocumented(self, x: int) -> int:
+                    return x
+
+                def _private(self, anything):
+                    return anything
+            """
+        )
+        findings = run(project)
+        assert codes_of(findings) == ["REPRO403"]
+        assert findings[0].symbol == "Thing.undocumented"
+
+    def test_dunder_needs_annotations_not_docstring(self, codes_of):
+        project = project_from(
+            pkg="""
+            __all__ = ["Thing"]
+
+            class Thing:
+                \"\"\"A documented class.\"\"\"
+
+                def __len__(self):
+                    return 0
+            """
+        )
+        findings = run(project)
+        assert codes_of(findings) == ["REPRO402"]
+
+    def test_constant_exports_only_need_to_exist(self):
+        project = project_from(
+            pkg="""
+            __all__ = ["VERSION", "TABLE"]
+
+            VERSION = "1.0"
+            TABLE: dict = {}
+            """
+        )
+        assert run(project) == []

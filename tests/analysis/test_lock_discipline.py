@@ -1,0 +1,220 @@
+"""Fixture tests for the lock-discipline checker (REPRO101/REPRO102)."""
+
+from __future__ import annotations
+
+from repro.analysis.checkers import LockDisciplineChecker
+
+
+def run(module):
+    return list(LockDisciplineChecker().check_module(module))
+
+
+GUARDED_CLASS = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self.total = 0  # guarded-by: _lock
+            self._lock = threading.Lock()
+
+        def add(self, amount):
+            with self._lock:
+                self.total += amount
+
+        def peek(self):
+            return self.total
+"""
+
+
+class TestUnguardedAccess:
+    def test_read_outside_lock_flagged(self, module_from, codes_of):
+        findings = run(module_from(GUARDED_CLASS))
+        assert codes_of(findings) == ["REPRO101"]
+        assert findings[0].symbol == "Counter.peek"
+        assert "read" in findings[0].message
+
+    def test_write_outside_lock_flagged(self, module_from):
+        findings = run(
+            module_from(
+                """
+                import threading
+
+                class C:
+                    def __init__(self):
+                        self.state = {}  # guarded-by: _lock
+                        self._lock = threading.Lock()
+
+                    def clobber(self):
+                        self.state = {}
+                """
+            )
+        )
+        assert len(findings) == 1
+        assert "written" in findings[0].message
+
+    def test_access_under_lock_is_clean(self, module_from):
+        findings = run(
+            module_from(
+                """
+                import threading
+
+                class C:
+                    def __init__(self):
+                        self.items = []  # guarded-by: _lock
+                        self._lock = threading.Lock()
+
+                    def push(self, item):
+                        with self._lock:
+                            self.items.append(item)
+
+                    def drain(self):
+                        with self._lock:
+                            out = list(self.items)
+                            self.items = []
+                        return out
+                """
+            )
+        )
+        assert findings == []
+
+    def test_with_context_expression_itself_checked(self, module_from, codes_of):
+        # `with self.guarded_thing:` evaluates the attribute *before* any
+        # lock in the same with-statement is held.
+        findings = run(
+            module_from(
+                """
+                import threading
+
+                class C:
+                    def __init__(self):
+                        self.resource = object()  # guarded-by: _lock
+                        self._lock = threading.Lock()
+
+                    def use(self):
+                        with self.resource:
+                            pass
+                """
+            )
+        )
+        assert codes_of(findings) == ["REPRO101"]
+
+    def test_unrelated_lock_does_not_count(self, module_from, codes_of):
+        findings = run(
+            module_from(
+                """
+                import threading
+
+                class C:
+                    def __init__(self):
+                        self.total = 0  # guarded-by: _lock
+                        self._lock = threading.Lock()
+                        self._other = threading.Lock()
+
+                    def wrong_lock(self):
+                        with self._other:
+                            return self.total
+                """
+            )
+        )
+        assert codes_of(findings) == ["REPRO101"]
+
+
+class TestScopes:
+    def test_constructor_exempt(self, module_from):
+        # GUARDED_CLASS.__init__ assigns self.total unlocked: no finding for it.
+        findings = run(module_from(GUARDED_CLASS))
+        assert all(f.symbol != "Counter.__init__" for f in findings)
+
+    def test_nested_function_does_not_inherit_lock(self, module_from, codes_of):
+        findings = run(
+            module_from(
+                """
+                import threading
+
+                class C:
+                    def __init__(self):
+                        self.total = 0  # guarded-by: _lock
+                        self._lock = threading.Lock()
+
+                    def submit(self, pool):
+                        with self._lock:
+                            def task():
+                                return self.total
+                            pool.submit(task)
+                """
+            )
+        )
+        assert codes_of(findings) == ["REPRO101"]
+
+    def test_lambda_does_not_inherit_lock(self, module_from, codes_of):
+        findings = run(
+            module_from(
+                """
+                import threading
+
+                class C:
+                    def __init__(self):
+                        self.total = 0  # guarded-by: _lock
+                        self._lock = threading.Lock()
+
+                    def submit(self, pool):
+                        with self._lock:
+                            pool.submit(lambda: self.total)
+                """
+            )
+        )
+        assert codes_of(findings) == ["REPRO101"]
+
+    def test_holds_annotation_trusted(self, module_from):
+        findings = run(
+            module_from(
+                """
+                import threading
+
+                class C:
+                    def __init__(self):
+                        self.total = 0  # guarded-by: _lock
+                        self._lock = threading.Lock()
+
+                    def _bump(self):  # repro-lint: holds=_lock
+                        self.total += 1
+
+                    def bump(self):
+                        with self._lock:
+                            self._bump()
+                """
+            )
+        )
+        assert findings == []
+
+
+class TestDeclarations:
+    def test_missing_lock_attribute_flagged(self, module_from, codes_of):
+        findings = run(
+            module_from(
+                """
+                class C:
+                    def __init__(self):
+                        self.total = 0  # guarded-by: _lock
+
+                    def read(self):
+                        return self.total
+                """
+            )
+        )
+        assert "REPRO102" in codes_of(findings)
+
+    def test_class_without_declarations_ignored(self, module_from):
+        findings = run(
+            module_from(
+                """
+                class Plain:
+                    def __init__(self):
+                        self.total = 0
+
+                    def read(self):
+                        return self.total
+                """
+            )
+        )
+        assert findings == []

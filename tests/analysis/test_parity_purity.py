@@ -1,0 +1,209 @@
+"""Fixture tests for the parity-purity checker (REPRO301)."""
+
+from __future__ import annotations
+
+from repro.analysis.checkers import ParityPurityChecker
+
+
+def run(module):
+    return list(ParityPurityChecker().check_module(module))
+
+
+class TestNondeterminismSources:
+    def test_clock_call(self, module_from, codes_of):
+        findings = run(
+            module_from(
+                """
+                import time
+
+                def rank(items):  # parity-critical
+                    return (items, time.perf_counter())
+                """
+            )
+        )
+        assert codes_of(findings) == ["REPRO301"]
+        assert "clock" in findings[0].message
+
+    def test_unseeded_random(self, module_from, codes_of):
+        findings = run(
+            module_from(
+                """
+                import random
+
+                def sample(items):  # parity-critical
+                    return random.choice(items)
+                """
+            )
+        )
+        assert codes_of(findings) == ["REPRO301"]
+
+    def test_seeded_random_generator_allowed(self, module_from):
+        findings = run(
+            module_from(
+                """
+                import random
+
+                def sample(items, seed):  # parity-critical
+                    rng = random.Random(seed)
+                    return rng
+                """
+            )
+        )
+        assert findings == []
+
+    def test_numpy_default_rng_unseeded(self, module_from, codes_of):
+        findings = run(
+            module_from(
+                """
+                from numpy.random import default_rng
+
+                def jitter(values):  # parity-critical
+                    return default_rng().random()
+                """
+            )
+        )
+        assert codes_of(findings) == ["REPRO301"]
+
+    def test_numpy_default_rng_seeded_and_its_methods_allowed(self, module_from):
+        findings = run(
+            module_from(
+                """
+                from numpy.random import default_rng
+
+                def jitter(values, seed):  # parity-critical
+                    rng = default_rng(seed)
+                    return rng.random()
+                """
+            )
+        )
+        assert findings == []
+
+    def test_numpy_module_randomness_flagged(self, module_from, codes_of):
+        findings = run(
+            module_from(
+                """
+                import numpy as np
+
+                def shuffle(values):  # parity-critical
+                    np.random.shuffle(values)
+                    return values
+                """
+            )
+        )
+        assert codes_of(findings) == ["REPRO301"]
+
+    def test_identity_and_hash(self, module_from, codes_of):
+        findings = run(
+            module_from(
+                """
+                def keys(items):  # parity-critical
+                    return [(id(item), hash(item)) for item in items]
+                """
+            )
+        )
+        assert codes_of(findings) == ["REPRO301", "REPRO301"]
+
+    def test_popitem(self, module_from, codes_of):
+        findings = run(
+            module_from(
+                """
+                def drain(mapping):  # parity-critical
+                    return mapping.popitem()
+                """
+            )
+        )
+        assert codes_of(findings) == ["REPRO301"]
+
+
+class TestSetOrderLeaks:
+    def test_for_loop_over_set_expression(self, module_from, codes_of):
+        findings = run(
+            module_from(
+                """
+                def scan(query_cells, inverted):  # parity-critical
+                    out = []
+                    for cell in query_cells & inverted.keys():
+                        out.append(cell)
+                    return out
+                """
+            )
+        )
+        assert codes_of(findings) == ["REPRO301"]
+
+    def test_comprehension_over_set_literal(self, module_from, codes_of):
+        findings = run(
+            module_from(
+                """
+                def expand(a, b):  # parity-critical
+                    return [x * 2 for x in {a, b}]
+                """
+            )
+        )
+        assert codes_of(findings) == ["REPRO301"]
+
+    def test_list_of_set_call(self, module_from, codes_of):
+        findings = run(
+            module_from(
+                """
+                def order(items):  # parity-critical
+                    return list(set(items))
+                """
+            )
+        )
+        assert codes_of(findings) == ["REPRO301"]
+
+    def test_sorted_set_is_clean(self, module_from):
+        findings = run(
+            module_from(
+                """
+                def order(a, b):  # parity-critical
+                    return sorted(a & b)
+                """
+            )
+        )
+        assert findings == []
+
+    def test_iterating_lists_and_dicts_is_clean(self, module_from):
+        findings = run(
+            module_from(
+                """
+                def scan(rows, table):  # parity-critical
+                    out = []
+                    for row in rows:
+                        out.append(row)
+                    for key in table:
+                        out.append(key)
+                    return out
+                """
+            )
+        )
+        assert findings == []
+
+
+class TestRegistration:
+    def test_unmarked_function_ignored(self, module_from):
+        findings = run(
+            module_from(
+                """
+                import random
+
+                def helper(items):
+                    return random.choice(list(set(items)))
+                """
+            )
+        )
+        assert findings == []
+
+    def test_marked_method_checked(self, module_from, codes_of):
+        findings = run(
+            module_from(
+                """
+                import time
+
+                class Search:
+                    def run(self, query):  # parity-critical
+                        return time.time()
+                """
+            )
+        )
+        assert codes_of(findings) == ["REPRO301"]

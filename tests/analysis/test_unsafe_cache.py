@@ -1,0 +1,129 @@
+"""Fixture tests for the unsafe-cache checker (REPRO201)."""
+
+from __future__ import annotations
+
+from repro.analysis.checkers import UnsafeCacheChecker
+
+
+def run(module):
+    return list(UnsafeCacheChecker().check_module(module))
+
+
+class TestFlagged:
+    def test_frozenset_parameter(self, module_from, codes_of):
+        # The PR 4 bug class: an lru_cache keyed by whole frozensets.
+        findings = run(
+            module_from(
+                """
+                import functools
+
+                @functools.lru_cache(maxsize=8192)
+                def distance(cells_a: frozenset, cells_b: frozenset) -> float:
+                    return 0.0
+                """
+            )
+        )
+        assert codes_of(findings) == ["REPRO201", "REPRO201"]
+
+    def test_unannotated_parameter(self, module_from, codes_of):
+        findings = run(
+            module_from(
+                """
+                from functools import lru_cache
+
+                @lru_cache
+                def lookup(key) -> int:
+                    return 1
+                """
+            )
+        )
+        assert codes_of(findings) == ["REPRO201"]
+        assert "unannotated" in findings[0].message
+
+    def test_method_always_flagged(self, module_from, codes_of):
+        findings = run(
+            module_from(
+                """
+                import functools
+
+                class Index:
+                    @functools.cache
+                    def height(self) -> int:
+                        return 0
+                """
+            )
+        )
+        assert codes_of(findings) == ["REPRO201"]
+        assert "self" in findings[0].message
+
+    def test_mutable_annotation(self, module_from, codes_of):
+        findings = run(
+            module_from(
+                """
+                from functools import cache
+
+                @cache
+                def compute(values: list[int]) -> int:
+                    return len(values)
+                """
+            )
+        )
+        assert codes_of(findings) == ["REPRO201"]
+
+
+class TestAccepted:
+    def test_safe_scalar_keys(self, module_from):
+        findings = run(
+            module_from(
+                """
+                import functools
+
+                @functools.lru_cache(maxsize=128)
+                def area(width: int, height: int, scale: float = 1.0) -> float:
+                    return width * height * scale
+                """
+            )
+        )
+        assert findings == []
+
+    def test_tuple_and_union_keys(self, module_from):
+        findings = run(
+            module_from(
+                """
+                from functools import lru_cache
+                from typing import Optional
+
+                @lru_cache
+                def f(point: tuple[int, int], name: Optional[str], flag: bool | None) -> int:
+                    return 0
+                """
+            )
+        )
+        assert findings == []
+
+    def test_staticmethod_judged_like_function(self, module_from):
+        findings = run(
+            module_from(
+                """
+                import functools
+
+                class Grid:
+                    @staticmethod
+                    @functools.lru_cache(maxsize=64)
+                    def cell_of(x: int, y: int) -> int:
+                        return x + y
+                """
+            )
+        )
+        assert findings == []
+
+    def test_uncached_functions_ignored(self, module_from):
+        findings = run(
+            module_from(
+                """
+                def anything(goes, here):
+                    return [goes, here]
+                """
+            )
+        )
+        assert findings == []

@@ -1,0 +1,206 @@
+"""Regression tests for the lock-discipline violations the linter surfaced.
+
+``python -m repro.cli lint`` (the REPRO101 pass) flagged three real races in
+the federation stack once its shared attributes were declared ``guarded-by``:
+
+* ``SimulatedChannel.transmission_time_ms`` read ``stats`` without the lock,
+  so a concurrent ``send`` landing between the byte read and the message read
+  produced a time computed from a torn (bytes, messages) pair;
+* ``SourceDispatcher._ensure_pool`` had no lock at all — two threads racing
+  the first parallel ``map`` could each build a pool, leaking one;
+* ``DataCenter._sources`` was mutated by registration and read from pool
+  threads with no synchronisation.
+
+Each test hammers the fixed path from many threads and asserts the invariant
+the lock restored.  They are race-probabilistic in the failing direction
+(a regression may survive a lucky run) but can never fail on correct code.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.grid import Grid
+from repro.data.sources import build_source_datasets
+from repro.distributed.center import DataCenter
+from repro.distributed.channel import SimulatedChannel
+from repro.distributed.executor import ExecutionPolicy, SourceDispatcher
+from repro.distributed.source import DataSource
+
+THREADS = 8
+ROUNDS = 200
+
+
+def _run_threads(worker, count: int = THREADS) -> list[BaseException]:
+    """Start ``count`` threads on ``worker`` and collect raised exceptions."""
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(count)
+
+    def wrapped() -> None:
+        try:
+            barrier.wait()
+            worker()
+        except BaseException as exc:  # noqa: BLE001 - surfaced via assert
+            errors.append(exc)
+
+    threads = [threading.Thread(target=wrapped) for _ in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return errors
+
+
+class TestChannelTimeSnapshot:
+    def test_transmission_time_pairs_bytes_with_messages(self):
+        """Every observed time must match an integer number of sent messages.
+
+        The payload is constant, so after ``n`` sends the byte total is
+        exactly ``n * size`` and the consistent times form a lattice
+        ``n * (size/bandwidth * 1000 + latency)``.  The pre-fix torn read
+        paired ``n`` bytes with ``m != n`` messages, landing off-lattice.
+        """
+        channel = SimulatedChannel(bandwidth_bytes_per_second=1024, latency_ms=2.0)
+        payload = "x" * 100
+        size = channel.send(payload, destination="s0")
+        per_message_ms = size / channel.bandwidth_bytes_per_second * 1000.0 + channel.latency_ms
+        observed: list[float] = []
+
+        def sender() -> None:
+            for _ in range(ROUNDS):
+                channel.send(payload, destination="s0")
+
+        def reader() -> None:
+            for _ in range(ROUNDS):
+                observed.append(channel.transmission_time_ms())
+
+        errors = []
+        threads = [threading.Thread(target=sender) for _ in range(4)] + [
+            threading.Thread(target=reader) for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for value in observed:
+            count = value / per_message_ms
+            assert abs(count - round(count)) < 1e-6, (
+                f"time {value} implies a fractional message count {count}: "
+                "bytes and message totals were read from different snapshots"
+            )
+
+    def test_reset_concurrent_with_reads(self):
+        channel = SimulatedChannel()
+
+        def worker() -> None:
+            for _ in range(ROUNDS):
+                channel.send("payload", destination="s0")
+                channel.transmission_time_ms()
+                channel.reset()
+
+        assert not _run_threads(worker)
+
+
+class TestDispatcherPoolRace:
+    def test_concurrent_first_use_builds_one_pool(self):
+        dispatcher = SourceDispatcher(ExecutionPolicy(max_workers=4))
+        pools: list[object] = []
+
+        def worker() -> None:
+            pools.append(dispatcher._ensure_pool())
+
+        try:
+            assert not _run_threads(worker)
+            assert len(set(map(id, pools))) == 1, "racing threads built separate pools"
+        finally:
+            dispatcher.close()
+
+    def test_concurrent_maps_share_the_pool(self):
+        dispatcher = SourceDispatcher(ExecutionPolicy(max_workers=4))
+
+        def worker() -> None:
+            for _ in range(50):
+                assert dispatcher.map(lambda item: item * 2, [1, 2, 3]) == [2, 4, 6]
+
+        try:
+            assert not _run_threads(worker)
+        finally:
+            dispatcher.close()
+
+    def test_concurrent_close_is_idempotent(self):
+        """Racing close() calls must each see a consistent pool-or-None.
+
+        Unsynchronised, two closers could both observe the same pool, one
+        shut it down and the other trip over ``_pool`` already reset (or
+        shut a freshly rebuilt pool another thread was still using).
+        """
+        dispatcher = SourceDispatcher(ExecutionPolicy(max_workers=4))
+
+        def worker() -> None:
+            for _ in range(50):
+                dispatcher.close()
+
+        try:
+            dispatcher.map(lambda item: item, [1, 2])
+            assert not _run_threads(worker)
+            # A closed dispatcher is still usable: the next map rebuilds.
+            assert dispatcher.map(lambda item: item + 1, [1]) == [2]
+        finally:
+            dispatcher.close()
+
+
+class TestCenterRegistrationRace:
+    def test_register_concurrent_with_lookups(self):
+        """Registration must not torpedo ``source_ids``/``source`` readers.
+
+        Before the fix the readers iterated/indexed ``_sources`` while
+        another thread inserted into it; CPython can raise
+        ``RuntimeError: dictionary changed size during iteration`` from
+        ``sorted(self._sources)`` mid-insert.
+        """
+        grid = Grid(theta=10)
+        center = DataCenter(grid)
+        datasets = build_source_datasets("Transit", scale=0.002, seed=3)
+        sources = []
+        for index, dataset in enumerate(datasets[: THREADS * 4]):
+            source = DataSource(source_id=f"src-{index:03d}", grid=grid)
+            source.load_datasets([dataset])
+            sources.append(source)
+        registered = threading.Event()
+        errors: list[BaseException] = []
+
+        def guarded(target):
+            def inner() -> None:
+                try:
+                    target()
+                except BaseException as exc:  # noqa: BLE001 - surfaced via assert
+                    errors.append(exc)
+
+            return inner
+
+        def register() -> None:
+            try:
+                for source in sources:
+                    center.register_source(source)
+            finally:
+                registered.set()
+
+        def read() -> None:
+            while not registered.is_set():
+                ids = center.source_ids()
+                assert ids == sorted(ids)
+                for source_id in ids:
+                    assert center.source(source_id).source_id == source_id
+
+        try:
+            writer = threading.Thread(target=guarded(register))
+            readers = [threading.Thread(target=guarded(read)) for _ in range(4)]
+            for thread in [writer, *readers]:
+                thread.start()
+            for thread in [writer, *readers]:
+                thread.join()
+            assert not errors, errors
+            assert center.source_ids() == sorted(s.source_id for s in sources)
+        finally:
+            center.close()

@@ -187,3 +187,73 @@ class TestSearchCommands:
         bad_query.write_text("x,y\n", encoding="utf-8")
         with pytest.raises(SystemExit):
             main(["overlap", "--corpus", str(corpus_dir), "--query", str(bad_query)])
+
+
+class TestLint:
+    @pytest.fixture()
+    def dirty_package(self, tmp_path):
+        """A package seeded with one violation per checker family."""
+        root = tmp_path / "dirty"
+        root.mkdir()
+        (root / "__init__.py").write_text("")
+        (root / "locks.py").write_text(
+            "import threading\n\n"
+            "class Counter:\n"
+            "    def __init__(self):\n"
+            "        self.total = 0  # guarded-by: _lock\n"
+            "        self._lock = threading.Lock()\n\n"
+            "    def peek(self):\n"
+            "        return self.total\n"
+        )
+        (root / "caches.py").write_text(
+            "import functools\n\n"
+            "@functools.lru_cache(maxsize=8192)\n"
+            "def distance(cells: frozenset) -> float:\n"
+            "    return 0.0\n"
+        )
+        (root / "hotpath.py").write_text(
+            "import time\n\n"
+            "def rank(items):  # parity-critical\n"
+            "    return (sorted(items), time.perf_counter())\n"
+        )
+        (root / "exports.py").write_text('__all__ = ["does_not_exist"]\n')
+        return root
+
+    def test_shipped_tree_is_clean_in_strict_mode(self, capsys):
+        assert main(["lint", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_seeded_violations_fail_with_all_families(self, dirty_package, capsys):
+        assert main(["lint", "--root", str(dirty_package)]) == 1
+        out = capsys.readouterr().out
+        for code in ("REPRO101", "REPRO201", "REPRO301", "REPRO401"):
+            assert code in out, f"{code} missing from lint output"
+
+    def test_json_format_is_schema_stable(self, dirty_package, capsys):
+        import json
+
+        assert main(["lint", "--root", str(dirty_package), "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro-lint/v1"
+        assert document["summary"]["finding_count"] == len(document["findings"])
+        locations = [(f["path"], f["line"], f["code"]) for f in document["findings"]]
+        assert locations == sorted(locations)
+
+    def test_select_restricts_codes(self, dirty_package, capsys):
+        assert main(["lint", "--root", str(dirty_package), "--select", "REPRO3"]) == 1
+        out = capsys.readouterr().out
+        assert "REPRO301" in out
+        assert "REPRO101" not in out
+
+    def test_strict_fails_on_stale_suppression(self, tmp_path, capsys):
+        root = tmp_path / "stale"
+        root.mkdir()
+        (root / "__init__.py").write_text("")
+        (root / "clean.py").write_text(
+            "def fine() -> int:\n    return 1  # repro-lint: disable=REPRO301\n"
+        )
+        assert main(["lint", "--root", str(root)]) == 0
+        assert main(["lint", "--root", str(root), "--strict"]) == 1
+        out = capsys.readouterr().out
+        assert "stale suppression" in out
